@@ -1,0 +1,87 @@
+// Ablation: loss-history depth (§2.3, §3).  The paper argues depths of
+// 8-32 balance smoothness against responsiveness, and that deeper
+// histories mitigate the loss-path-multiplicity degradation at the cost
+// of slower reaction.  This bench quantifies both sides:
+//   (a) scaling: expected min-rate at n receivers for depth 2/8/32;
+//   (b) responsiveness: how long a single receiver takes to adapt after
+//       its loss rate quadruples, for depth 8 vs 32.
+
+#include <iostream>
+
+#include "analysis/scaling.hpp"
+#include "bench_util.hpp"
+#include "scenario_util.hpp"
+
+namespace {
+
+using namespace tfmcc;
+using namespace tfmcc::time_literals;
+
+/// Time for the sender rate to fall below half its previous steady value
+/// after the receiver's path loss jumps from 0.5% to 8%.
+double adapt_seconds(int depth) {
+  Simulator sim{301};
+  Topology topo{sim};
+  LinkConfig trunk;
+  trunk.rate_bps = 1e9;
+  trunk.delay = 5_ms;
+  LinkConfig leaf;
+  leaf.rate_bps = 1e9;
+  leaf.delay = 15_ms;
+  leaf.loss_rate = 0.005;
+  Star star = make_star(topo, trunk, {leaf});
+  TfmccConfig cfg;
+  cfg.loss_history_depth = depth;
+  TfmccFlow flow{sim, topo, star.sender, cfg};
+  flow.add_joined_receiver(star.leaves[0]);
+  flow.sender().start(SimTime::zero());
+  sim.run_until(120_sec);
+  const double before = flow.sender().rate_Bps();
+  star.leaf_links[0].first->set_loss_rate(0.08);
+  const SimTime t0 = sim.now();
+  while (sim.now() < t0 + 120_sec) {
+    sim.run_until(sim.now() + 500_ms);
+    if (flow.sender().rate_Bps() < before / 2.0) break;
+  }
+  return (sim.now() - t0).to_seconds();
+}
+
+}  // namespace
+
+int main() {
+  using tfmcc::bench::check;
+  using tfmcc::bench::figure_header;
+  using tfmcc::bench::note;
+  namespace sc = tfmcc::scaling;
+
+  figure_header("Ablation", "Loss-history depth: smoothness vs responsiveness");
+
+  // (a) Scaling side.
+  sc::ModelConfig mc;
+  mc.trials = 150;
+  tfmcc::Rng rng{31};
+  tfmcc::CsvWriter csv(std::cout, {"metric", "depth", "value"});
+  double rate_d2 = 0, rate_d32 = 0;
+  for (int depth : {2, 8, 32}) {
+    mc.history_depth = depth;
+    const double kbps = tfmcc::kbps_from_Bps(
+        sc::expected_min_rate_Bps(sc::constant_losses(1000, 0.1), mc, rng));
+    csv.row("min_rate_n1000_kbps", depth, kbps);
+    if (depth == 2) rate_d2 = kbps;
+    if (depth == 32) rate_d32 = kbps;
+  }
+
+  // (b) Responsiveness side.
+  const double t8 = adapt_seconds(8);
+  const double t32 = adapt_seconds(32);
+  csv.row("adapt_to_4x_loss_seconds", 8, t8);
+  csv.row("adapt_to_4x_loss_seconds", 32, t32);
+
+  check(rate_d32 > rate_d2,
+        "deeper history mitigates the multi-receiver degradation");
+  check(t8 <= t32 + 1.0,
+        "shallower history reacts at least as fast to new congestion");
+  note("depth 8 adapts in " + std::to_string(t8) + "s, depth 32 in " +
+       std::to_string(t32) + "s");
+  return 0;
+}

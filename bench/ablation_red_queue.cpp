@@ -1,0 +1,69 @@
+// Ablation: queue discipline.  §4 of the paper: "Generally, both fairness
+// towards TCP and intra-protocol fairness improve when active queuing
+// (e.g. RED) is used instead" of drop-tail.  One TFMCC flow and 4 TCP
+// flows on a shared bottleneck, drop-tail vs RED.
+
+#include <cmath>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "scenario_util.hpp"
+
+namespace {
+
+using namespace tfmcc;
+using namespace tfmcc::time_literals;
+
+/// |log(tfmcc/tcp)| fairness distance (0 = perfectly fair).
+double fairness_distance(bool use_red) {
+  Simulator sim{321};
+  Topology topo{sim};
+  LinkConfig bn;
+  bn.jitter = bench::kPhaseJitter;
+  bn.rate_bps = 5e6;
+  bn.delay = 18_ms;
+  bn.use_red = use_red;
+  LinkConfig acc;
+  acc.jitter = bench::kPhaseJitter;
+  acc.rate_bps = 1e9;
+  acc.delay = 2_ms;
+  const Dumbbell d = make_dumbbell(topo, 5, 5, bn, acc);
+  TfmccFlow flow{sim, topo, d.left_hosts[0]};
+  flow.add_joined_receiver(d.right_hosts[0]);
+  std::vector<std::unique_ptr<TcpFlow>> tcp;
+  for (int i = 0; i < 4; ++i) {
+    tcp.push_back(std::make_unique<TcpFlow>(sim, topo, d.left_hosts[static_cast<size_t>(i + 1)],
+                                            d.right_hosts[static_cast<size_t>(i + 1)], i));
+    tcp.back()->start(SimTime::millis(41 * i));
+  }
+  flow.sender().start(SimTime::zero());
+  sim.run_until(180_sec);
+  double tcp_kbps = 0;
+  for (const auto& t : tcp) tcp_kbps += t->mean_kbps(60_sec, 180_sec);
+  tcp_kbps /= 4.0;
+  const double tfmcc_kbps = flow.goodput(0).mean_kbps(60_sec, 180_sec);
+  return std::fabs(std::log(std::max(tfmcc_kbps, 1.0) / std::max(tcp_kbps, 1.0)));
+}
+
+}  // namespace
+
+int main() {
+  using tfmcc::bench::check;
+  using tfmcc::bench::figure_header;
+  using tfmcc::bench::note;
+
+  figure_header("Ablation", "Drop-tail vs RED at the bottleneck");
+
+  const double droptail = fairness_distance(false);
+  const double red = fairness_distance(true);
+
+  tfmcc::CsvWriter csv(std::cout, {"queue", "abs_log_fairness_ratio"});
+  csv.row("droptail", droptail);
+  csv.row("red", red);
+
+  check(red < droptail + 0.35,
+        "RED does not worsen TFMCC/TCP fairness (paper: it improves it)");
+  note("fairness distance |log ratio|: droptail " + std::to_string(droptail) +
+       ", RED " + std::to_string(red));
+  return 0;
+}

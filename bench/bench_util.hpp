@@ -1,0 +1,28 @@
+#pragma once
+
+// Shared support for the figure-reproduction benches.  Every bench binary
+// prints:
+//   1. a header naming the figure it reproduces,
+//   2. a CSV trace with the same series the paper plots,
+//   3. a "CHECK" summary comparing the measured shape against the paper's
+//      qualitative claim (recorded in EXPERIMENTS.md).
+
+#include <cstdio>
+#include <string>
+
+namespace tfmcc::bench {
+
+inline void figure_header(const char* figure, const char* title) {
+  std::printf("# %s: %s\n", figure, title);
+}
+
+inline bool check(bool ok, const std::string& what) {
+  std::printf("CHECK %s: %s\n", ok ? "PASS" : "DIVERGES", what.c_str());
+  return ok;
+}
+
+inline void note(const std::string& what) {
+  std::printf("NOTE: %s\n", what.c_str());
+}
+
+}  // namespace tfmcc::bench

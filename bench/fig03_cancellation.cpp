@@ -1,0 +1,65 @@
+// Figure 3: number of feedback responses in the first round of the worst
+// case — all n receivers suddenly experience congestion at a similar level
+// — for the three cancellation policies delta = 1.0 ("all suppressed"),
+// 0.1 ("10% lower suppressed") and 0.0 ("higher suppressed").
+//
+// Paper claims: delta=0 grows with n (log-like); delta=1 stays flat;
+// delta=0.1 is only marginally above delta=1 while keeping the transient
+// rate within 10% of optimal.
+
+#include <iostream>
+#include <string>
+
+#include "analysis/feedback_round.hpp"
+#include "bench_util.hpp"
+#include "util/csv.hpp"
+#include "util/stats.hpp"
+
+int main() {
+  using namespace tfmcc;
+  namespace fr = feedback_round;
+
+  bench::figure_header("Figure 3", "Different feedback cancellation methods");
+
+  const int kTrials = 25;
+  Rng root{7};
+
+  CsvWriter csv(std::cout,
+                {"n", "all_suppressed_d1", "ten_pct_d01", "higher_suppressed_d0"});
+
+  double d0_at_10k = 0, d01_at_10k = 0, d1_at_10k = 0, d0_at_10 = 0;
+  for (int n : {1, 3, 10, 30, 100, 300, 1000, 3000, 10000}) {
+    double avg[3] = {0, 0, 0};
+    const double deltas[3] = {1.0, 0.1, 0.0};
+    for (int t = 0; t < kTrials; ++t) {
+      Rng r = root.substream(static_cast<std::uint64_t>(n) * 100 +
+                             static_cast<std::uint64_t>(t));
+      // Sudden congestion: all receivers compute similar low rates.
+      const auto values = fr::uniform_values(n, 0.4, 0.6, r);
+      for (int d = 0; d < 3; ++d) {
+        fr::RoundConfig cfg;
+        cfg.delta = deltas[d];
+        cfg.timer.method = BiasMethod::kModifiedOffset;
+        Rng rr = r.substream(static_cast<std::uint64_t>(d));
+        avg[d] += fr::simulate(values, cfg, rr).responses;
+      }
+    }
+    for (double& a : avg) a /= kTrials;
+    csv.row(n, avg[0], avg[1], avg[2]);
+    if (n == 10000) {
+      d1_at_10k = avg[0];
+      d01_at_10k = avg[1];
+      d0_at_10k = avg[2];
+    }
+    if (n == 10) d0_at_10 = avg[2];
+  }
+
+  bench::check(d0_at_10k > 2.0 * d0_at_10,
+               "delta=0 (higher suppressed) grows with n");
+  bench::check(d1_at_10k < 60.0, "delta=1 (all suppressed) stays bounded");
+  bench::check(d01_at_10k < 3.0 * d1_at_10k + 10.0,
+               "delta=0.1 only marginally above full suppression");
+  bench::check(d01_at_10k < d0_at_10k,
+               "delta=0.1 cheaper than delta=0 at n=10000");
+  return 0;
+}

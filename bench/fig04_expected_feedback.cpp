@@ -1,0 +1,45 @@
+// Figure 4: expected number of feedback messages as a function of the
+// suppression window T' (in RTTs) and the receiver count n, for
+// N = 10000 and network delay D = 1 RTT (unicast feedback + sender echo).
+//
+// Paper claim: T' in roughly [3,4] RTTs yields the desired moderate number
+// of duplicate responses, particularly for n one to two orders of
+// magnitude below N.
+
+#include <iostream>
+
+#include "analysis/feedback_model.hpp"
+#include "bench_util.hpp"
+#include "util/csv.hpp"
+
+int main() {
+  using namespace tfmcc;
+
+  bench::figure_header("Figure 4", "Expected number of feedback messages");
+
+  FeedbackTimerConfig cfg;
+  cfg.method = BiasMethod::kUnbiased;  // worst case: x identical at all receivers
+  cfg.n_estimate = 10000.0;
+
+  CsvWriter csv(std::cout, {"t_prime_rtts", "n", "expected_messages"});
+  double at_t3_n100 = 0, at_t2_n100000 = 0, at_t6_n10 = 0;
+  for (double t_prime : {2.0, 2.5, 3.0, 3.5, 4.0, 4.5, 5.0, 5.5, 6.0}) {
+    for (int n : {1, 10, 100, 1000, 10000, 100000}) {
+      const double m =
+          feedback_model::expected_messages(n, t_prime, 1.0, 0.0, cfg);
+      csv.row(t_prime, n, m);
+      if (t_prime == 3.0 && n == 100) at_t3_n100 = m;
+      if (t_prime == 2.0 && n == 100000) at_t2_n100000 = m;
+      if (t_prime == 6.0 && n == 10) at_t6_n10 = m;
+    }
+  }
+
+  bench::check(at_t3_n100 >= 2.0 && at_t3_n100 <= 40.0,
+               "T'=3, n=100: a moderate number of responses (not 1-2, not "
+               "an implosion)");
+  bench::check(at_t2_n100000 > 60.0,
+               "short windows + n >> expectations give many duplicates");
+  bench::check(at_t6_n10 < 6.0,
+               "long windows with few receivers approach a single response");
+  return 0;
+}

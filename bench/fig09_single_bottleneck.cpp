@@ -1,0 +1,43 @@
+// Figure 9: one TFMCC flow and 15 TCP flows over a single 8 Mbit/s
+// bottleneck; per-second throughput of TFMCC and two sample TCPs over
+// t = 60..200 s.
+//
+// Paper claims: TFMCC's average closely matches the average TCP
+// throughput, with a visibly smoother rate.
+
+#include <iostream>
+
+#include "scenario_util.hpp"
+
+int main() {
+  using namespace tfmcc;
+  using namespace tfmcc::time_literals;
+
+  bench::figure_header("Figure 9",
+                       "1 TFMCC + 15 TCP over a single 8 Mbit/s bottleneck");
+
+  bench::SharedBottleneck s{8e6, 18_ms, /*n_receivers=*/4, /*n_tcp=*/15, 91};
+  s.start_all();
+  s.sim.run_until(200_sec);
+
+  CsvWriter csv(std::cout, {"flow", "time_s", "kbps"});
+  bench::emit_series(csv, "TFMCC", s.tfmcc->goodput(0), 60_sec, 200_sec);
+  bench::emit_series(csv, "TCP 1", s.tcp[0]->goodput, 60_sec, 200_sec);
+  bench::emit_series(csv, "TCP 2", s.tcp[1]->goodput, 60_sec, 200_sec);
+
+  const double tfmcc_kbps = s.tfmcc->goodput(0).mean_kbps(60_sec, 200_sec);
+  const double tcp_kbps = s.tcp_mean_kbps(60_sec, 200_sec);
+  const double cov_tfmcc = bench::trace_cov(s.tfmcc->goodput(0), 60_sec, 200_sec);
+  double cov_tcp = 0;
+  for (const auto& t : s.tcp) cov_tcp += bench::trace_cov(t->goodput, 60_sec, 200_sec);
+  cov_tcp /= static_cast<double>(s.tcp.size());
+
+  bench::note("TFMCC " + std::to_string(tfmcc_kbps) + " kbit/s vs TCP avg " +
+              std::to_string(tcp_kbps) + " kbit/s (fair share 500); CoV " +
+              std::to_string(cov_tfmcc) + " vs " + std::to_string(cov_tcp));
+  bench::check(tfmcc_kbps > tcp_kbps / 2.5 && tfmcc_kbps < tcp_kbps * 2.5,
+               "TFMCC average close to the average TCP throughput");
+  bench::check(cov_tfmcc < cov_tcp,
+               "TFMCC achieves a smoother rate than TCP");
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Figure 11: responsiveness to changes in the loss rate.  Star topology,
+// four receivers behind links with loss rates 0.1%, 0.5%, 2.5% and 12.5%
+// (60 ms RTT).  Receivers join in order of loss rate at t = 100, 150, 200,
+// 250 s and leave in reverse order at 300, 350 s...; a TCP flow to each
+// receiver runs throughout for comparison.
+//
+// Paper claims: TFMCC steps down to each new CLR's TCP-fair level within
+// seconds of a join (one to three seconds of suppression delay early on)
+// and steps back up on leaves.
+
+#include <iostream>
+
+#include "scenario_util.hpp"
+
+int main() {
+  using namespace tfmcc;
+  using namespace tfmcc::time_literals;
+
+  bench::figure_header("Figure 11", "Responsiveness to changes in loss rate");
+
+  const double kLoss[4] = {0.001, 0.005, 0.025, 0.125};
+  Simulator sim{111};
+  Topology topo{sim};
+
+  LinkConfig trunk;
+  trunk.jitter = bench::kPhaseJitter;
+  trunk.rate_bps = 20e6;
+  trunk.delay = 10_ms;
+  std::vector<LinkConfig> leaves(4);
+  for (int i = 0; i < 4; ++i) {
+    leaves[static_cast<size_t>(i)].rate_bps = 20e6;
+    leaves[static_cast<size_t>(i)].delay = 20_ms;
+    leaves[static_cast<size_t>(i)].loss_rate = kLoss[static_cast<size_t>(i)];
+  }
+  Star star = make_star(topo, trunk, leaves);
+  // TCP comparison flows need their own sources so only the lossy leaf
+  // links are shared.
+  std::vector<NodeId> tcp_src(4);
+  for (int i = 0; i < 4; ++i) {
+    tcp_src[static_cast<size_t>(i)] = topo.add_node();
+    topo.add_duplex_link(tcp_src[static_cast<size_t>(i)], star.hub, trunk);
+  }
+  topo.compute_routes();
+
+  TfmccFlow tfmcc{sim, topo, star.sender};
+  std::vector<std::unique_ptr<TcpFlow>> tcp;
+  for (int i = 0; i < 4; ++i) {
+    tfmcc.add_receiver(star.leaves[static_cast<size_t>(i)]);
+    tcp.push_back(std::make_unique<TcpFlow>(sim, topo, tcp_src[static_cast<size_t>(i)],
+                                            star.leaves[static_cast<size_t>(i)], i));
+    tcp.back()->start(SimTime::millis(41 * i));
+  }
+  // Receiver 0 (lowest loss) is present from the start.
+  tfmcc.receiver(0).join();
+  tfmcc.sender().start(SimTime::zero());
+
+  // Joins at 100/150/200 s; leaves at 250/300/350 s (reverse order).
+  for (int i = 1; i < 4; ++i) {
+    sim.at(SimTime::seconds(50.0 + 50.0 * i),
+           [&tfmcc, i] { tfmcc.receiver(i).join(); });
+  }
+  for (int i = 3; i >= 1; --i) {
+    sim.at(SimTime::seconds(250.0 + 50.0 * (3 - i)),
+           [&tfmcc, i] { tfmcc.receiver(i).leave(); });
+  }
+  sim.run_until(400_sec);
+
+  CsvWriter csv(std::cout, {"flow", "time_s", "kbps"});
+  bench::emit_series(csv, "TFMCC", tfmcc.goodput(0), 0_sec, 400_sec);
+  for (int i = 0; i < 4; ++i) {
+    bench::emit_series(csv, "TCP " + std::to_string(i + 1),
+                       tcp[static_cast<size_t>(i)]->goodput, 0_sec, 400_sec);
+  }
+
+  // Epoch means: receiver k joined during [100+50(k-1), 100+50k).
+  const double e0 = tfmcc.goodput(0).mean_kbps(60_sec, 100_sec);    // only r0
+  const double e1 = tfmcc.goodput(0).mean_kbps(110_sec, 150_sec);   // + r1
+  const double e2 = tfmcc.goodput(0).mean_kbps(160_sec, 200_sec);   // + r2
+  const double e3 = tfmcc.goodput(0).mean_kbps(210_sec, 250_sec);   // + r3
+  const double back = tfmcc.goodput(0).mean_kbps(370_sec, 400_sec); // only r0
+
+  bench::note("epoch means (kbit/s): r0=" + std::to_string(e0) +
+              " +r1=" + std::to_string(e1) + " +r2=" + std::to_string(e2) +
+              " +r3=" + std::to_string(e3) + " after leaves=" +
+              std::to_string(back));
+  bench::check(e1 < e0 && e2 < e1 && e3 < e2,
+               "each join steps the rate down to the new worst receiver");
+  bench::check(back > 2.0 * e3, "rate recovers after the lossy receivers leave");
+  const double tcp3 = tcp[3]->mean_kbps(210_sec, 250_sec);
+  bench::check(e3 > tcp3 / 3.0 && e3 < tcp3 * 3.0,
+               "TFMCC tracks the 12.5%-loss receiver's TCP-fair rate");
+  const double tcp2 = tcp[2]->mean_kbps(160_sec, 200_sec);
+  bench::check(e2 > tcp2 / 3.0 && e2 < tcp2 * 3.0,
+               "TFMCC tracks the 2.5%-loss receiver's TCP-fair rate");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Figure 14: maximum slowstart rate vs receiver-set size, for (a) TFMCC
+// alone on the link, (b) one competing TCP, (c) high statistical
+// multiplexing (8 competing TCPs).  The fair rate is 1 Mbit/s in all
+// three scenarios.
+//
+// Paper claims: alone, TFMCC overshoots to roughly twice the bottleneck
+// bandwidth regardless of n; with competition the slowstart exit rate is
+// below the fair rate, and it decreases as the receiver set grows (the
+// min() over noisy receive-rate reports).
+
+#include <iostream>
+
+#include "scenario_util.hpp"
+
+namespace {
+
+using namespace tfmcc;
+using namespace tfmcc::time_literals;
+
+double peak_slowstart_kbps(double bottleneck_bps, int n_receivers, int n_tcp,
+                           std::uint64_t seed) {
+  bench::SharedBottleneck s{bottleneck_bps, 18_ms, n_receivers, n_tcp, seed};
+  // TCP flows first so the link is in steady state when TFMCC probes.
+  for (std::size_t i = 0; i < s.tcp.size(); ++i) {
+    s.tcp[i]->start(SimTime::millis(41 * static_cast<std::int64_t>(i)));
+  }
+  s.tfmcc->sender().start(n_tcp > 0 ? 15_sec : SimTime::zero());
+  s.sim.run_until(60_sec);
+  return kbps_from_Bps(s.tfmcc->sender().peak_slowstart_rate_Bps());
+}
+
+}  // namespace
+
+int main() {
+  using tfmcc::bench::check;
+  using tfmcc::bench::figure_header;
+  using tfmcc::bench::note;
+
+  figure_header("Figure 14", "Maximum slowstart rate");
+
+  tfmcc::CsvWriter csv(std::cout,
+                       {"n_receivers", "only_tfmcc_kbps", "one_tcp_kbps",
+                        "high_statmux_kbps", "fair_rate_kbps"});
+  double alone_2 = 0, alone_512 = 0, mux_2 = 0, mux_128 = 0;
+  for (int n : {2, 8, 32, 128, 512}) {
+    // (a) alone on a 1 Mbit/s link; (b) with 1 TCP on 2 Mbit/s;
+    // (c) with 8 TCPs on 9 Mbit/s — fair share 1 Mbit/s in each.
+    const double alone = peak_slowstart_kbps(1e6, n, 0, 141);
+    const double one = peak_slowstart_kbps(2e6, n, 1, 142);
+    const double mux = peak_slowstart_kbps(9e6, n, 8, 143);
+    csv.row(n, alone, one, mux, 1000.0);
+    if (n == 2) {
+      alone_2 = alone;
+      mux_2 = mux;
+    }
+    if (n == 512) alone_512 = alone;
+    if (n == 128) mux_128 = mux;
+  }
+
+  check(alone_2 > 1000.0 && alone_2 < 2800.0,
+        "alone: slowstart reaches ~2x the bottleneck bandwidth");
+  check(alone_512 > 800.0,
+        "alone: the overshoot bound is independent of the receiver count");
+  check(mux_128 < mux_2 * 1.2,
+        "high statistical multiplexing: exit rate does not grow with n");
+  check(mux_128 < 2000.0,
+        "with competition the slowstart rate stays near/below fair");
+  note("alone n=2: " + std::to_string(alone_2) + " kbit/s; n=512: " +
+       std::to_string(alone_512) + "; high-mux n=2: " + std::to_string(mux_2) +
+       ", n=128: " + std::to_string(mux_128));
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Figure 15: late join of a low-rate receiver.  An 8-member TFMCC session
+// and 7 TCP flows share an 8 Mbit/s bottleneck (fair rate 1 Mbit/s).  At
+// t = 50 s a new receiver behind a separate 200 kbit/s tail joins; it
+// leaves at t = 100 s.
+//
+// Paper claims: the joining receiver initially sees very high loss, but
+// the loss-history initialisation (Appendix B) lets TFMCC select it as CLR
+// and settle to the 200 kbit/s tail within a very few seconds; after the
+// leave the rate recovers towards fair.
+
+#include <iostream>
+
+#include "scenario_util.hpp"
+
+int main() {
+  using namespace tfmcc;
+  using namespace tfmcc::time_literals;
+
+  bench::figure_header("Figure 15", "Late join of a low-rate receiver");
+
+  bench::SharedBottleneck s{8e6, 18_ms, /*n_receivers=*/8, /*n_tcp=*/7, 151};
+  // Slow tail hanging off the right router.
+  LinkConfig slow;
+  slow.rate_bps = 200e3;
+  slow.delay = 10_ms;
+  slow.queue_limit_packets = 10;
+  const NodeId slow_host = s.topo.add_node();
+  s.topo.add_duplex_link(s.dumbbell.right_router, slow_host, slow);
+  s.topo.compute_routes();
+  const int late = s.tfmcc->add_receiver(slow_host);
+
+  s.start_all();
+  s.sim.at(50_sec, [&] { s.tfmcc->receiver(late).join(); });
+  s.sim.at(100_sec, [&] { s.tfmcc->receiver(late).leave(); });
+  s.sim.run_until(140_sec);
+
+  CsvWriter csv(std::cout, {"flow", "time_s", "kbps"});
+  bench::emit_series(csv, "TFMCC", s.tfmcc->goodput(0), 0_sec, 140_sec);
+  // Aggregate TCP trace.
+  ThroughputBinner agg{1_sec};
+  for (const auto& t : s.tcp) {
+    for (const auto& p : t->goodput.series_kbps().points()) {
+      agg.add(p.t, static_cast<std::int64_t>(p.v * 125.0));  // kbit -> bytes/s bin
+    }
+  }
+  bench::emit_series(csv, "aggregated TCP", agg, 0_sec, 140_sec);
+
+  const double before = s.tfmcc->goodput(0).mean_kbps(30_sec, 50_sec);
+  const double during = s.tfmcc->goodput(0).mean_kbps(60_sec, 100_sec);
+  const double after = s.tfmcc->goodput(0).mean_kbps(120_sec, 140_sec);
+
+  bench::note("TFMCC kbit/s before=" + std::to_string(before) + " during=" +
+              std::to_string(during) + " after=" + std::to_string(after));
+  bench::check(before > 400.0, "before the join TFMCC runs near fair rate");
+  bench::check(during < 320.0 && during > 50.0,
+               "during the join TFMCC settles near the 200 kbit/s tail, "
+               "not zero");
+  bench::check(after > 2.0 * during, "rate recovers after the leave");
+  return 0;
+}

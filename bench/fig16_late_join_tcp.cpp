@@ -1,0 +1,60 @@
+// Figure 16: the fig. 15 scenario with an additional TCP flow on the
+// 200 kbit/s link for the whole experiment.
+//
+// Paper claims: when the receiver joins, the slow link is flooded and the
+// TCP flow inevitably times out, but shortly afterwards TFMCC adapts and
+// the 200 kbit/s link is shared fairly between TFMCC and TCP.
+
+#include <iostream>
+
+#include "scenario_util.hpp"
+
+int main() {
+  using namespace tfmcc;
+  using namespace tfmcc::time_literals;
+
+  bench::figure_header("Figure 16", "Additional TCP flow on the slow link");
+
+  bench::SharedBottleneck s{8e6, 18_ms, /*n_receivers=*/8, /*n_tcp=*/7, 161};
+  LinkConfig slow;
+  slow.rate_bps = 200e3;
+  slow.delay = 10_ms;
+  slow.queue_limit_packets = 10;
+  const NodeId slow_host = s.topo.add_node();
+  s.topo.add_duplex_link(s.dumbbell.right_router, slow_host, slow);
+  s.topo.compute_routes();
+  const int late = s.tfmcc->add_receiver(slow_host);
+  // The competing TCP flow on the slow link, running the whole time,
+  // sourced from the left side of the dumbbell.
+  TcpFlow slow_tcp{s.sim, s.topo, s.dumbbell.left_hosts[1], slow_host, 99};
+
+  s.start_all();
+  slow_tcp.start(1_sec);
+  s.sim.at(50_sec, [&] { s.tfmcc->receiver(late).join(); });
+  s.sim.at(100_sec, [&] { s.tfmcc->receiver(late).leave(); });
+  s.sim.run_until(140_sec);
+
+  CsvWriter csv(std::cout, {"flow", "time_s", "kbps"});
+  bench::emit_series(csv, "TFMCC", s.tfmcc->goodput(0), 0_sec, 140_sec);
+  bench::emit_series(csv, "TCP on 200kbit link", slow_tcp.goodput, 0_sec,
+                     140_sec);
+
+  const double tcp_before = slow_tcp.mean_kbps(20_sec, 50_sec);
+  const double tcp_during = slow_tcp.mean_kbps(65_sec, 100_sec);
+  const double tfmcc_during = s.tfmcc->goodput(0).mean_kbps(65_sec, 100_sec);
+  const double tcp_after = slow_tcp.mean_kbps(110_sec, 140_sec);
+
+  bench::note("slow TCP kbit/s before=" + std::to_string(tcp_before) +
+              " during=" + std::to_string(tcp_during) + " after=" +
+              std::to_string(tcp_after) + "; TFMCC during=" +
+              std::to_string(tfmcc_during));
+  bench::check(tcp_before > 120.0,
+               "TCP alone uses most of the 200 kbit/s link before the join");
+  bench::check(tcp_during > 30.0,
+               "TCP recovers from the join-flood timeout and keeps a share");
+  bench::check(tfmcc_during > 40.0 && tfmcc_during < 250.0,
+               "TFMCC shares the slow link instead of starving or flooding");
+  bench::check(tcp_after > tcp_during,
+               "TCP reclaims bandwidth after the receiver leaves");
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Figure 17: loss events per RTT as a function of the loss event rate
+// (Appendix A).  The curve's maximum of ~0.13 under the paper's TCP model
+// is what makes the 500 ms initial RTT safe to use for loss aggregation:
+// a condition with one aggregated loss event per RTT cannot persist.
+
+#include <algorithm>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "tfrc/equation.hpp"
+#include "util/csv.hpp"
+
+int main() {
+  using namespace tfmcc;
+
+  bench::figure_header("Figure 17", "Loss events per RTT");
+
+  CsvWriter csv(std::cout, {"loss_event_rate", "events_per_rtt_b2",
+                            "events_per_rtt_b1"});
+  double max_b2 = 0.0, argmax_p = 0.0, max_b1 = 0.0;
+  for (double p = 1e-4; p <= 1.0; p *= 1.06) {
+    const double l2 = tcp_model::loss_events_per_rtt(p, 2.0);
+    const double l1 = tcp_model::loss_events_per_rtt(p, 1.0);
+    csv.row(p, l2, l1);
+    if (l2 > max_b2) {
+      max_b2 = l2;
+      argmax_p = p;
+    }
+    max_b1 = std::max(max_b1, l1);
+  }
+
+  bench::note("max events/RTT: " + std::to_string(max_b2) + " at p = " +
+              std::to_string(argmax_p) + " (paper model, b=2); b=1 model: " +
+              std::to_string(max_b1));
+  bench::check(max_b2 > 0.10 && max_b2 < 0.16,
+               "maximum ~0.13 loss events per RTT (paper's Appendix A value)");
+  bench::check(max_b1 < 0.25,
+               "even with b=1 the rate self-limits well below 1 event/RTT");
+  bench::check(tcp_model::loss_events_per_rtt(1e-4, 2.0) < 0.02 &&
+                   tcp_model::loss_events_per_rtt(0.9, 2.0) < max_b2,
+               "curve rises from ~0 and falls beyond the maximum");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Figure 20 (Appendix D.2): responsiveness to network delay.  The fig. 11
+// setting with the loss rates replaced by per-receiver one-way link delays
+// of 30, 60, 120 and 240 ms; receivers join in order of their RTT and
+// leave in reverse order.
+//
+// Paper claims: behaviour mirrors fig. 11 — each join steps the rate down
+// to the new highest-RTT receiver's TCP-fair level almost instantly (the
+// receiver set is small), and the rate recovers on leaves.
+
+#include <iostream>
+
+#include "scenario_util.hpp"
+
+int main() {
+  using namespace tfmcc;
+  using namespace tfmcc::time_literals;
+
+  bench::figure_header("Figure 20", "Responsiveness to network delay");
+
+  const std::int64_t kDelayMs[4] = {15, 30, 60, 120};  // one-way, 2 hops each
+  Simulator sim{201};
+  Topology topo{sim};
+  LinkConfig trunk;
+  trunk.jitter = bench::kPhaseJitter;
+  trunk.rate_bps = 20e6;
+  trunk.delay = 0_ms;
+  std::vector<LinkConfig> leaves(4);
+  for (int i = 0; i < 4; ++i) {
+    leaves[static_cast<size_t>(i)].rate_bps = 20e6;
+    leaves[static_cast<size_t>(i)].delay = SimTime::millis(kDelayMs[static_cast<size_t>(i)]);
+    leaves[static_cast<size_t>(i)].loss_rate = 0.005;  // equal loss; RTT differentiates
+  }
+  Star star = make_star(topo, trunk, leaves);
+  std::vector<NodeId> tcp_src(4);
+  for (int i = 0; i < 4; ++i) {
+    tcp_src[static_cast<size_t>(i)] = topo.add_node();
+    topo.add_duplex_link(tcp_src[static_cast<size_t>(i)], star.hub, trunk);
+  }
+  topo.compute_routes();
+
+  TfmccFlow tfmcc{sim, topo, star.sender};
+  std::vector<std::unique_ptr<TcpFlow>> tcp;
+  for (int i = 0; i < 4; ++i) {
+    tfmcc.add_receiver(star.leaves[static_cast<size_t>(i)]);
+    tcp.push_back(std::make_unique<TcpFlow>(sim, topo, tcp_src[static_cast<size_t>(i)],
+                                            star.leaves[static_cast<size_t>(i)], i));
+    tcp.back()->start(SimTime::millis(41 * i));
+  }
+  tfmcc.receiver(0).join();
+  tfmcc.sender().start(SimTime::zero());
+  for (int i = 1; i < 4; ++i) {
+    sim.at(SimTime::seconds(50.0 + 50.0 * i),
+           [&tfmcc, i] { tfmcc.receiver(i).join(); });
+  }
+  for (int i = 3; i >= 1; --i) {
+    sim.at(SimTime::seconds(250.0 + 50.0 * (3 - i)),
+           [&tfmcc, i] { tfmcc.receiver(i).leave(); });
+  }
+  sim.run_until(400_sec);
+
+  CsvWriter csv(std::cout, {"flow", "time_s", "kbps"});
+  bench::emit_series(csv, "TFMCC", tfmcc.goodput(0), 0_sec, 400_sec);
+  for (int i = 0; i < 4; ++i) {
+    bench::emit_series(csv, "TCP " + std::to_string(i + 1),
+                       tcp[static_cast<size_t>(i)]->goodput, 0_sec, 400_sec);
+  }
+
+  const double e0 = tfmcc.goodput(0).mean_kbps(60_sec, 100_sec);
+  const double e1 = tfmcc.goodput(0).mean_kbps(110_sec, 150_sec);
+  const double e2 = tfmcc.goodput(0).mean_kbps(160_sec, 200_sec);
+  const double e3 = tfmcc.goodput(0).mean_kbps(210_sec, 250_sec);
+  const double back = tfmcc.goodput(0).mean_kbps(370_sec, 400_sec);
+
+  bench::note("epoch means (kbit/s): 30ms=" + std::to_string(e0) + " +60ms=" +
+              std::to_string(e1) + " +120ms=" + std::to_string(e2) +
+              " +240ms=" + std::to_string(e3) + " after leaves=" +
+              std::to_string(back));
+  bench::check(e1 < e0 && e2 < e1 && e3 < e2,
+               "each higher-RTT join steps the rate down");
+  bench::check(back > 1.5 * e3, "rate recovers after the high-RTT leaves");
+  const double tcp3 = tcp[3]->mean_kbps(210_sec, 250_sec);
+  bench::check(e3 > tcp3 / 3.0 && e3 < tcp3 * 3.0,
+               "TFMCC tracks the 240 ms receiver's TCP-fair rate");
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Google-benchmark microbenchmarks for the hot paths of the library:
+// control-equation evaluation, loss-history updates, scheduler throughput,
+// feedback-timer draws and whole feedback rounds.  These guard against
+// performance regressions that would make the large-scale figure benches
+// (1000-receiver simulations) impractical.
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/feedback_round.hpp"
+#include "sim/scheduler.hpp"
+#include "tfmcc/feedback_timer.hpp"
+#include "tfrc/equation.hpp"
+#include "tfrc/loss_history.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace tfmcc;
+
+void BM_EquationFull(benchmark::State& state) {
+  double p = 1e-4;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tcp_model::throughput_Bps(1000.0, SimTime::millis(80), p));
+    p = p < 0.5 ? p * 1.01 : 1e-4;
+  }
+}
+BENCHMARK(BM_EquationFull);
+
+void BM_EquationInverse(benchmark::State& state) {
+  double rate = 1e4;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tcp_model::loss_for_throughput(1000.0, SimTime::millis(80), rate));
+    rate = rate < 1e7 ? rate * 1.1 : 1e4;
+  }
+}
+BENCHMARK(BM_EquationInverse);
+
+void BM_LossHistoryReceive(benchmark::State& state) {
+  LossHistory h{static_cast<int>(state.range(0))};
+  SimTime t = SimTime::zero();
+  int i = 0;
+  for (auto _ : state) {
+    h.on_packet_received();
+    if (++i % 100 == 0) {
+      t += SimTime::millis(500);
+      h.on_packet_lost(t, SimTime::millis(100));
+    }
+    benchmark::DoNotOptimize(h.loss_event_rate());
+  }
+}
+BENCHMARK(BM_LossHistoryReceive)->Arg(8)->Arg(32);
+
+void BM_SchedulerChurn(benchmark::State& state) {
+  Scheduler s;
+  const auto horizon = static_cast<std::size_t>(state.range(0));
+  std::vector<EventId> ids;
+  ids.reserve(horizon);
+  std::uint64_t n = 0;
+  for (auto _ : state) {
+    ids.push_back(
+        s.schedule_at(s.now() + SimTime::micros(static_cast<std::int64_t>(++n % 977)),
+                      [] {}));
+    if (ids.size() >= horizon) {
+      // Cancel half, run the rest.
+      for (std::size_t i = 0; i < ids.size(); i += 2) s.cancel(ids[i]);
+      s.run();
+      ids.clear();
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SchedulerChurn)->Arg(64)->Arg(4096);
+
+void BM_FeedbackTimerDraw(benchmark::State& state) {
+  FeedbackTimerConfig cfg;
+  cfg.method = static_cast<BiasMethod>(state.range(0));
+  Rng rng{1};
+  double x = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(feedback_timer::draw(x, cfg, rng));
+    x = x < 1.0 ? x + 0.001 : 0.0;
+  }
+}
+BENCHMARK(BM_FeedbackTimerDraw)
+    ->Arg(static_cast<int>(BiasMethod::kUnbiased))
+    ->Arg(static_cast<int>(BiasMethod::kModifiedOffset));
+
+void BM_FeedbackRound(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng{2};
+  const auto values = feedback_round::uniform_values(n, 0.0, 1.0, rng);
+  feedback_round::RoundConfig cfg;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(feedback_round::simulate(values, cfg, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_FeedbackRound)->Arg(100)->Arg(10000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

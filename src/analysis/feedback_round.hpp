@@ -1,0 +1,47 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "tfmcc/config.hpp"
+#include "util/rng.hpp"
+
+namespace tfmcc::feedback_round {
+
+/// Standalone Monte-Carlo simulator of a single feedback round (§2.5),
+/// driving figs. 2, 3, 5 and 6.  It models exactly the mechanism of the
+/// live protocol — biased timers, sender echo, δ-cancellation — without the
+/// packet layer: feedback sent at time t reaches the sender at t + RTT/2
+/// and its echo reaches the other receivers at t + RTT.
+struct RoundConfig {
+  FeedbackTimerConfig timer{};
+  double t_max{4.0};   // T: maximum feedback delay, in RTT units
+  double rtt{1.0};     // echo latency (sender echo back to receivers)
+  double delta{0.1};   // δ cancellation threshold (§2.5.2)
+};
+
+/// Per-receiver outcome of a round (fig. 2's scatter data).
+struct ReceiverOutcome {
+  double value{0.0};  // the rate ratio x it would report
+  double timer{0.0};  // scheduled feedback time (RTT units)
+  bool sent{false};   // responded (true) or suppressed (false)
+};
+
+struct RoundResult {
+  int responses{0};          // number of feedback messages
+  double first_time{0.0};    // arrival time of the first response at sender
+  double best_value{0.0};    // lowest value among responses
+  double best_time{0.0};     // arrival time of that best response
+  double true_min{0.0};      // actual lowest value in the receiver set
+  std::vector<ReceiverOutcome> outcomes;  // filled when keep_outcomes
+};
+
+/// Simulate one round for receivers with the given report values (x_i,
+/// the ratio of calculated to current sending rate).
+RoundResult simulate(std::span<const double> values, const RoundConfig& cfg,
+                     Rng& rng, bool keep_outcomes = false);
+
+/// Convenience: n receivers with values drawn uniformly in [lo, hi].
+std::vector<double> uniform_values(int n, double lo, double hi, Rng& rng);
+
+}  // namespace tfmcc::feedback_round

@@ -1,0 +1,32 @@
+#pragma once
+
+#include "util/rng.hpp"
+
+namespace tfmcc::order_stats {
+
+/// Regularized lower incomplete gamma function P(a, x) = γ(a,x)/Γ(a),
+/// computed with the series expansion for x < a+1 and the continued
+/// fraction otherwise (Numerical Recipes style).  Needed because the
+/// standard library offers no incomplete gamma.
+double reg_lower_incomplete_gamma(double a, double x);
+
+/// CDF of Gamma(shape k, scale theta) at x.
+double gamma_cdf(double x, double k, double theta);
+
+/// E[min of n iid Exponential(mean m)] == m / n (closed form; exposed for
+/// cross-checks of the numeric machinery).
+double expected_min_exponential(double mean, int n);
+
+/// E[min of n iid Gamma(shape k, scale theta)], by numeric integration of
+/// the survival function:  E[min] = ∫ (1-F(x))^n dx.
+///
+/// This drives the §3 scaling analysis: the TFRC average of `k` loss
+/// intervals is (approximately) Gamma distributed, and the sender tracks
+/// the *minimum* calculated rate — i.e. the minimum of n such averages.
+double expected_min_gamma(double k, double theta, int n);
+
+/// Monte-Carlo cross-check for expected_min_gamma (tests, fig. 7 sanity).
+double expected_min_gamma_mc(double k, double theta, int n, int trials,
+                             Rng& rng);
+
+}  // namespace tfmcc::order_stats

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+
+#include "net/packet.hpp"
+#include "net/topology.hpp"
+
+namespace tfmcc {
+
+/// A multicast session: one source-rooted group plus the port convention
+/// that binds receiver agents to group deliveries.  This is the layer the
+/// TFMCC sender/receiver (and any other multicast application) talk to,
+/// keeping group-management details out of the protocol code.
+class MulticastSession {
+ public:
+  MulticastSession(Topology& topo, NodeId source, PortId data_port)
+      : topo_{topo},
+        source_{source},
+        data_port_{data_port},
+        group_{topo.create_group(source)} {}
+
+  GroupId group() const { return group_; }
+  NodeId source() const { return source_; }
+  PortId data_port() const { return data_port_; }
+  Topology& topology() { return topo_; }
+
+  /// Subscribe `member`'s agent (already attached to `data_port` on that
+  /// node) to the session.  Grafts the node onto the distribution tree.
+  void join(NodeId member) { topo_.join(group_, member); }
+
+  /// Unsubscribe; prunes the distribution tree.
+  void leave(NodeId member) { topo_.leave(group_, member); }
+
+  bool is_member(NodeId n) const { return topo_.is_member(group_, n); }
+  int member_count() const { return topo_.member_count(group_); }
+
+  /// Inject a packet at the source and replicate it down the tree.
+  void send_from_source(PacketPtr p) { topo_.node(source_).send(std::move(p)); }
+
+ private:
+  Topology& topo_;
+  NodeId source_;
+  PortId data_port_;
+  GroupId group_;
+};
+
+}  // namespace tfmcc

@@ -1,0 +1,46 @@
+#include "net/builders.hpp"
+
+namespace tfmcc {
+
+Dumbbell make_dumbbell(Topology& topo, int n_left, int n_right,
+                       const LinkConfig& bottleneck,
+                       const LinkConfig& access) {
+  Dumbbell d;
+  d.left_router = topo.add_node();
+  d.right_router = topo.add_node();
+  auto [fwd, rev] = topo.add_duplex_link(d.left_router, d.right_router,
+                                         bottleneck);
+  d.bottleneck_fwd = fwd;
+  d.bottleneck_rev = rev;
+  for (int i = 0; i < n_left; ++i) {
+    const NodeId h = topo.add_node();
+    topo.add_duplex_link(h, d.left_router, access);
+    d.left_hosts.push_back(h);
+  }
+  for (int i = 0; i < n_right; ++i) {
+    const NodeId h = topo.add_node();
+    topo.add_duplex_link(h, d.right_router, access);
+    d.right_hosts.push_back(h);
+  }
+  topo.compute_routes();
+  return d;
+}
+
+Star make_star(Topology& topo, const LinkConfig& sender_link,
+               const std::vector<LinkConfig>& leaf_cfgs) {
+  Star s;
+  s.hub = topo.add_node();
+  s.sender = topo.add_node();
+  topo.add_duplex_link(s.sender, s.hub, sender_link);
+  for (const auto& cfg : leaf_cfgs) {
+    const NodeId leaf = topo.add_node();
+    Link& to_leaf = topo.add_link(s.hub, leaf, cfg);
+    Link& from_leaf = topo.add_link(leaf, s.hub, cfg);
+    s.leaves.push_back(leaf);
+    s.leaf_links.emplace_back(&to_leaf, &from_leaf);
+  }
+  topo.compute_routes();
+  return s;
+}
+
+}  // namespace tfmcc

@@ -1,0 +1,62 @@
+#include "net/link.hpp"
+
+#include "net/node.hpp"
+
+namespace tfmcc {
+
+Link::Link(Simulator& sim, Node& to, LinkConfig cfg, Rng rng)
+    : sim_{sim}, to_{to}, cfg_{cfg}, rng_{std::move(rng)} {
+  if (cfg_.use_red) {
+    RedQueue::Config red;
+    red.limit_packets = cfg_.queue_limit_packets;
+    red.max_th = static_cast<double>(cfg_.queue_limit_packets) * 0.5;
+    red.min_th = red.max_th / 3.0;
+    queue_ = std::make_unique<RedQueue>(red, rng_.substream(1));
+  } else {
+    queue_ = std::make_unique<DropTailQueue>(cfg_.queue_limit_packets);
+  }
+}
+
+void Link::send(PacketPtr p) {
+  if (cfg_.loss_rate > 0.0 && rng_.bernoulli(cfg_.loss_rate)) {
+    ++loss_drops_;
+    return;
+  }
+  if (!queue_->enqueue(std::move(p))) return;
+  if (!transmitting_) start_transmission();
+}
+
+void Link::start_transmission() {
+  PacketPtr p = queue_->dequeue();
+  if (!p) return;
+  transmitting_ = true;
+  const SimTime tx = transmission_time(p->size_bytes);
+  sim_.in(tx, [this, p = std::move(p)]() mutable {
+    on_transmit_complete(std::move(p));
+  });
+}
+
+void Link::on_transmit_complete(PacketPtr p) {
+  ++delivered_;
+  delivered_bytes_ += p->size_bytes;
+  // Propagation: hand the packet to the destination node after the delay
+  // (plus the phase-breaking jitter).  The delay is sampled at
+  // transmit-completion time so mid-run delay changes (fig. 13) take
+  // effect for subsequent packets.
+  SimTime delay = cfg_.delay;
+  if (cfg_.jitter > SimTime::zero()) {
+    delay += cfg_.jitter * rng_.uniform(0.0, 1.0);
+  }
+  // Links are FIFO: jitter must never reorder deliveries (the receivers'
+  // loss detection relies on in-order arrival).
+  SimTime arrival = sim_.now() + delay;
+  if (arrival < last_arrival_) arrival = last_arrival_;
+  last_arrival_ = arrival;
+  sim_.at(arrival, [node = &to_, p = std::move(p)]() mutable {
+    node->receive(p);
+  });
+  transmitting_ = false;
+  if (!queue_->empty()) start_transmission();
+}
+
+}  // namespace tfmcc

@@ -1,0 +1,76 @@
+#include "net/node.hpp"
+
+#include "net/link.hpp"
+#include "net/topology.hpp"
+#include "util/log.hpp"
+
+namespace tfmcc {
+
+void Node::attach_agent(PortId port, Agent* agent) { agents_[port] = agent; }
+
+void Node::detach_agent(PortId port) { agents_.erase(port); }
+
+void Node::set_route(NodeId dst, Link* next_hop) {
+  const auto idx = static_cast<std::size_t>(dst);
+  if (routes_.size() <= idx) routes_.resize(idx + 1, nullptr);
+  routes_[idx] = next_hop;
+}
+
+Link* Node::route(NodeId dst) const {
+  const auto idx = static_cast<std::size_t>(dst);
+  return idx < routes_.size() ? routes_[idx] : nullptr;
+}
+
+void Node::receive(const PacketPtr& p) {
+  if (p->is_multicast()) {
+    if (topo_.is_member(p->group, id_)) deliver_local(p);
+    forward_multicast(p);
+    return;
+  }
+  if (p->dst == id_) {
+    deliver_local(p);
+  } else {
+    forward_unicast(p);
+  }
+}
+
+void Node::send(PacketPtr p) {
+  if (p->is_multicast()) {
+    // Source injection: replicate down the distribution tree from here.
+    forward_multicast(p);
+    return;
+  }
+  if (p->dst == id_) {
+    deliver_local(p);
+    return;
+  }
+  forward_unicast(p);
+}
+
+void Node::deliver_local(const PacketPtr& p) {
+  auto it = agents_.find(p->dport);
+  if (it != agents_.end()) {
+    ++delivered_local_;
+    it->second->handle_packet(*p);
+  }
+}
+
+void Node::forward_unicast(const PacketPtr& p) {
+  Link* l = route(p->dst);
+  if (l == nullptr) {
+    TFMCC_LOG(LogLevel::kWarn, SimTime::zero(), "node",
+              "node %d: no route to %d, packet dropped", id_, p->dst);
+    return;
+  }
+  ++forwarded_;
+  l->send(p);
+}
+
+void Node::forward_multicast(const PacketPtr& p) {
+  for (Link* l : topo_.mcast_out_links(p->group, id_)) {
+    ++forwarded_;
+    l->send(p);
+  }
+}
+
+}  // namespace tfmcc

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "util/sim_time.hpp"
+
+namespace tfmcc {
+
+class Link;
+class Topology;
+
+/// A protocol endpoint attached to a node port (TCP sender/sink, TFMCC
+/// sender/receiver, ...).  `handle_packet` is invoked for every packet
+/// delivered to the agent's port, including multicast deliveries for groups
+/// the node has joined.
+class Agent {
+ public:
+  virtual ~Agent() = default;
+  virtual void handle_packet(const Packet& p) = 0;
+};
+
+/// A network node: forwards packets according to the topology's routing
+/// tables and delivers local traffic to attached agents.
+class Node {
+ public:
+  Node(Topology& topo, NodeId id) : topo_{topo}, id_{id} {}
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  NodeId id() const { return id_; }
+
+  /// Bind an agent to a local port.  The agent must outlive the node.
+  void attach_agent(PortId port, Agent* agent);
+  void detach_agent(PortId port);
+
+  /// Entry point for packets arriving from a link (or injected locally).
+  void receive(const PacketPtr& p);
+
+  /// Entry point for agents sending a packet originating at this node.
+  void send(PacketPtr p);
+
+  /// Routing: next-hop link for a unicast destination.
+  void set_route(NodeId dst, Link* next_hop);
+  Link* route(NodeId dst) const;
+
+  std::int64_t forwarded() const { return forwarded_; }
+  std::int64_t delivered_local() const { return delivered_local_; }
+
+ private:
+  void deliver_local(const PacketPtr& p);
+  void forward_unicast(const PacketPtr& p);
+  void forward_multicast(const PacketPtr& p);
+
+  Topology& topo_;
+  NodeId id_;
+  std::unordered_map<PortId, Agent*> agents_;
+  std::vector<Link*> routes_;  // indexed by destination NodeId
+  std::int64_t forwarded_{0};
+  std::int64_t delivered_local_{0};
+};
+
+}  // namespace tfmcc

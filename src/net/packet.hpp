@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "net/headers.hpp"
+#include "util/sim_time.hpp"
+
+namespace tfmcc {
+
+/// A simulated packet.  Immutable once sent; multicast replication shares
+/// one instance between all branches of the distribution tree, so a packet
+/// delivered to 10,000 receivers is allocated exactly once.
+struct Packet {
+  std::uint64_t uid{0};
+  NodeId src{kInvalidNode};
+  NodeId dst{kInvalidNode};   // unicast destination; ignored for multicast
+  PortId sport{0};
+  PortId dport{0};
+  GroupId group{kNoGroup};    // >= 0: multicast packet addressed to group
+  std::int32_t size_bytes{0};
+  SimTime created{};
+  PacketHeader header{};
+
+  bool is_multicast() const { return group != kNoGroup; }
+
+  const TcpHeader* tcp() const { return std::get_if<TcpHeader>(&header); }
+  const TfmccDataHeader* tfmcc_data() const {
+    return std::get_if<TfmccDataHeader>(&header);
+  }
+  const TfmccFeedbackHeader* tfmcc_feedback() const {
+    return std::get_if<TfmccFeedbackHeader>(&header);
+  }
+  const PgmccAckHeader* pgmcc_ack() const {
+    return std::get_if<PgmccAckHeader>(&header);
+  }
+};
+
+using PacketPtr = std::shared_ptr<const Packet>;
+
+/// Conventional sizes (bytes) used across the experiments: 1000-byte data
+/// packets as in the paper's ns-2 setup, 40-byte TCP ACKs, and a small
+/// report packet for TFMCC feedback.
+constexpr std::int32_t kDataPacketBytes = 1000;
+constexpr std::int32_t kAckPacketBytes = 40;
+constexpr std::int32_t kFeedbackPacketBytes = 60;
+
+}  // namespace tfmcc

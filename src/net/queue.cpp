@@ -1,0 +1,70 @@
+#include "net/queue.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tfmcc {
+
+bool DropTailQueue::enqueue(PacketPtr p) {
+  if (q_.size() >= limit_) {
+    ++drops_;
+    return false;
+  }
+  bytes_ += p->size_bytes;
+  q_.push_back(std::move(p));
+  ++accepted_;
+  return true;
+}
+
+PacketPtr DropTailQueue::dequeue() {
+  if (q_.empty()) return nullptr;
+  PacketPtr p = std::move(q_.front());
+  q_.pop_front();
+  bytes_ -= p->size_bytes;
+  return p;
+}
+
+bool RedQueue::enqueue(PacketPtr p) {
+  // Update the average queue estimate on every arrival.
+  avg_ = (1.0 - cfg_.weight) * avg_ + cfg_.weight * static_cast<double>(q_.size());
+
+  bool drop = false;
+  if (q_.size() >= cfg_.limit_packets || avg_ >= 2.0 * cfg_.max_th) {
+    drop = true;  // hard limit / gentle region ceiling
+  } else if (avg_ >= cfg_.max_th) {
+    // "Gentle" RED: drop probability rises linearly from max_p to 1.
+    const double pb = cfg_.max_p + (avg_ - cfg_.max_th) / cfg_.max_th *
+                                       (1.0 - cfg_.max_p);
+    drop = rng_.bernoulli(pb);
+  } else if (avg_ >= cfg_.min_th) {
+    const double pb =
+        cfg_.max_p * (avg_ - cfg_.min_th) / (cfg_.max_th - cfg_.min_th);
+    // Spread drops out: scale by packets since last drop.
+    const double pa =
+        pb / std::max(1e-9, 1.0 - static_cast<double>(count_since_drop_) * pb);
+    ++count_since_drop_;
+    drop = rng_.bernoulli(std::clamp(pa, 0.0, 1.0));
+  } else {
+    count_since_drop_ = -1;
+  }
+
+  if (drop) {
+    ++drops_;
+    count_since_drop_ = 0;
+    return false;
+  }
+  bytes_ += p->size_bytes;
+  q_.push_back(std::move(p));
+  ++accepted_;
+  return true;
+}
+
+PacketPtr RedQueue::dequeue() {
+  if (q_.empty()) return nullptr;
+  PacketPtr p = std::move(q_.front());
+  q_.pop_front();
+  bytes_ -= p->size_bytes;
+  return p;
+}
+
+}  // namespace tfmcc

@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+
+#include "net/packet.hpp"
+#include "util/rng.hpp"
+
+namespace tfmcc {
+
+/// Interface for a link's outbound packet queue.
+class Queue {
+ public:
+  virtual ~Queue() = default;
+
+  /// Try to accept a packet.  Returns false if the packet was dropped.
+  virtual bool enqueue(PacketPtr p) = 0;
+  /// Remove and return the head packet; nullptr when empty.
+  virtual PacketPtr dequeue() = 0;
+
+  virtual std::size_t size_packets() const = 0;
+  virtual std::int64_t size_bytes() const = 0;
+  bool empty() const { return size_packets() == 0; }
+
+  std::int64_t drops() const { return drops_; }
+  std::int64_t accepted() const { return accepted_; }
+
+ protected:
+  std::int64_t drops_{0};
+  std::int64_t accepted_{0};
+};
+
+/// FIFO drop-tail queue with a packet-count limit — the queue discipline
+/// used for every experiment in the paper ("drop-tail queues were used at
+/// the routers", §4).
+class DropTailQueue final : public Queue {
+ public:
+  explicit DropTailQueue(std::size_t limit_packets) : limit_{limit_packets} {}
+
+  bool enqueue(PacketPtr p) override;
+  PacketPtr dequeue() override;
+
+  std::size_t size_packets() const override { return q_.size(); }
+  std::int64_t size_bytes() const override { return bytes_; }
+  std::size_t limit() const { return limit_; }
+
+ private:
+  std::size_t limit_;
+  std::deque<PacketPtr> q_;
+  std::int64_t bytes_{0};
+};
+
+/// Random Early Detection queue (Floyd & Jacobson 1993, "gentle" variant).
+///
+/// The paper notes that fairness "generally improves when active queuing
+/// (e.g. RED) is used instead" of drop-tail; this implementation backs the
+/// `ablation_red_queue` bench that checks exactly that claim.
+class RedQueue final : public Queue {
+ public:
+  struct Config {
+    std::size_t limit_packets{50};
+    double min_th{5};     // packets
+    double max_th{15};    // packets
+    double max_p{0.10};   // drop probability at max_th
+    double weight{0.002}; // EWMA weight for the average queue size
+  };
+
+  RedQueue(Config cfg, Rng rng) : cfg_{cfg}, rng_{std::move(rng)} {}
+
+  bool enqueue(PacketPtr p) override;
+  PacketPtr dequeue() override;
+
+  std::size_t size_packets() const override { return q_.size(); }
+  std::int64_t size_bytes() const override { return bytes_; }
+  double avg_queue() const { return avg_; }
+
+ private:
+  Config cfg_;
+  Rng rng_;
+  std::deque<PacketPtr> q_;
+  std::int64_t bytes_{0};
+  double avg_{0.0};
+  std::int64_t count_since_drop_{-1};
+};
+
+}  // namespace tfmcc

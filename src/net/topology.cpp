@@ -1,0 +1,171 @@
+#include "net/topology.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace tfmcc {
+
+NodeId Topology::add_node() {
+  const auto id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(std::make_unique<Node>(*this, id));
+  adjacency_.emplace_back();
+  return id;
+}
+
+NodeId Topology::add_nodes(int count) {
+  const NodeId first = static_cast<NodeId>(nodes_.size());
+  for (int i = 0; i < count; ++i) add_node();
+  return first;
+}
+
+Link& Topology::add_link(NodeId from, NodeId to, const LinkConfig& cfg) {
+  auto& dst = node(to);
+  links_.push_back(std::make_unique<Link>(
+      sim_, dst, cfg, sim_.make_rng(rng_stream_counter_++)));
+  Link* l = links_.back().get();
+  adjacency_.at(static_cast<std::size_t>(from)).emplace_back(to, l);
+  return *l;
+}
+
+std::pair<Link*, Link*> Topology::add_duplex_link(NodeId a, NodeId b,
+                                                  const LinkConfig& cfg) {
+  Link& ab = add_link(a, b, cfg);
+  Link& ba = add_link(b, a, cfg);
+  return {&ab, &ba};
+}
+
+Link* Topology::link_between(NodeId from, NodeId to) {
+  for (auto& [nbr, l] : adjacency_.at(static_cast<std::size_t>(from))) {
+    if (nbr == to) return l;
+  }
+  return nullptr;
+}
+
+void Topology::compute_routes() {
+  // Dijkstra from every node.  Cost = (propagation delay, hop count); the
+  // priority queue's deterministic tie-break on node id keeps route choice
+  // stable across runs.
+  const int n = node_count();
+  for (NodeId src = 0; src < n; ++src) {
+    struct Dist {
+      std::int64_t delay_ns = std::numeric_limits<std::int64_t>::max();
+      int hops = std::numeric_limits<int>::max();
+      Link* first_link = nullptr;  // first hop on the path src -> node
+    };
+    std::vector<Dist> dist(static_cast<std::size_t>(n));
+    using QE = std::tuple<std::int64_t, int, NodeId>;
+    std::priority_queue<QE, std::vector<QE>, std::greater<>> pq;
+    dist[static_cast<std::size_t>(src)] = {0, 0, nullptr};
+    pq.emplace(0, 0, src);
+    while (!pq.empty()) {
+      auto [d, h, u] = pq.top();
+      pq.pop();
+      auto& du = dist[static_cast<std::size_t>(u)];
+      if (d != du.delay_ns || h != du.hops) continue;  // stale entry
+      for (auto& [v, l] : adjacency_[static_cast<std::size_t>(u)]) {
+        const std::int64_t nd = d + l->config().delay.count_nanos();
+        const int nh = h + 1;
+        auto& dv = dist[static_cast<std::size_t>(v)];
+        if (nd < dv.delay_ns || (nd == dv.delay_ns && nh < dv.hops)) {
+          dv.delay_ns = nd;
+          dv.hops = nh;
+          dv.first_link = (u == src) ? l : du.first_link;
+          pq.emplace(nd, nh, v);
+        }
+      }
+    }
+    for (NodeId dst = 0; dst < n; ++dst) {
+      if (dst != src) {
+        node(src).set_route(dst, dist[static_cast<std::size_t>(dst)].first_link);
+      }
+    }
+  }
+  // Routing change can alter multicast trees.
+  for (auto& g : groups_) rebuild_tree(g);
+}
+
+SimTime Topology::path_delay(NodeId a, NodeId b) const {
+  SimTime total = SimTime::zero();
+  NodeId cur = a;
+  int guard = node_count() + 1;
+  while (cur != b) {
+    Link* l = node(cur).route(b);
+    if (l == nullptr || guard-- <= 0) return SimTime::infinity();
+    total += l->config().delay;
+    cur = l->destination().id();
+  }
+  return total;
+}
+
+GroupId Topology::create_group(NodeId source) {
+  GroupState g;
+  g.source = source;
+  g.out_links.resize(static_cast<std::size_t>(node_count()));
+  groups_.push_back(std::move(g));
+  return static_cast<GroupId>(groups_.size() - 1);
+}
+
+void Topology::join(GroupId gid, NodeId member) {
+  auto& g = groups_.at(static_cast<std::size_t>(gid));
+  g.members.insert(member);
+  rebuild_tree(g);
+}
+
+void Topology::leave(GroupId gid, NodeId member) {
+  auto& g = groups_.at(static_cast<std::size_t>(gid));
+  g.members.erase(member);
+  rebuild_tree(g);
+}
+
+bool Topology::is_member(GroupId gid, NodeId n) const {
+  const auto& g = groups_.at(static_cast<std::size_t>(gid));
+  return g.members.count(n) > 0;
+}
+
+int Topology::member_count(GroupId gid) const {
+  return static_cast<int>(
+      groups_.at(static_cast<std::size_t>(gid)).members.size());
+}
+
+const std::vector<Link*>& Topology::mcast_out_links(GroupId gid,
+                                                    NodeId at) const {
+  const auto& g = groups_.at(static_cast<std::size_t>(gid));
+  const auto idx = static_cast<std::size_t>(at);
+  if (idx >= g.out_links.size()) return empty_links_;
+  return g.out_links[idx];
+}
+
+void Topology::rebuild_tree(GroupState& g) {
+  // Reverse-path tree: each member walks its unicast route towards the
+  // source; the reversed edges of that walk are the tree edges.  Every node
+  // has a unique parent (its unicast next hop towards the source), so the
+  // union of the walks is a tree and no node receives duplicate copies.
+  for (auto& v : g.out_links) v.clear();
+  if (g.source == kInvalidNode) return;
+  std::vector<char> attached(static_cast<std::size_t>(node_count()), 0);
+  for (NodeId m : g.members) {
+    NodeId cur = m;
+    int guard = node_count() + 1;
+    while (cur != g.source) {
+      if (attached[static_cast<std::size_t>(cur)]) break;  // shared trunk
+      attached[static_cast<std::size_t>(cur)] = 1;
+      Link* toward_src = node(cur).route(g.source);
+      if (toward_src == nullptr || guard-- <= 0) {
+        throw std::logic_error("multicast member unreachable from source; "
+                               "did you call compute_routes()?");
+      }
+      const NodeId parent = toward_src->destination().id();
+      Link* down = link_between(parent, cur);
+      if (down == nullptr) {
+        throw std::logic_error("asymmetric path: no reverse link for tree");
+      }
+      g.out_links[static_cast<std::size_t>(parent)].push_back(down);
+      cur = parent;
+    }
+  }
+}
+
+}  // namespace tfmcc

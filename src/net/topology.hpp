@@ -1,0 +1,85 @@
+#pragma once
+
+#include <memory>
+#include <set>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "net/link.hpp"
+#include "net/node.hpp"
+#include "sim/simulator.hpp"
+
+namespace tfmcc {
+
+/// Owns the nodes and links of an experiment, computes unicast routes
+/// (Dijkstra over propagation delay) and maintains multicast distribution
+/// trees (reverse-shortest-path trees, as dense-mode multicast routing
+/// builds them in ns-2).
+class Topology {
+ public:
+  explicit Topology(Simulator& sim) : sim_{sim} {}
+
+  // --- construction -------------------------------------------------------
+  NodeId add_node();
+  NodeId add_nodes(int count);  // returns id of the first added node
+
+  /// Unidirectional link from -> to.
+  Link& add_link(NodeId from, NodeId to, const LinkConfig& cfg);
+  /// Two unidirectional links with identical configuration.
+  std::pair<Link*, Link*> add_duplex_link(NodeId a, NodeId b,
+                                          const LinkConfig& cfg);
+
+  /// (Re)compute all unicast routing tables.  Must be called after the last
+  /// link is added and before traffic starts.  Cost metric: propagation
+  /// delay, ties broken by hop count, then by node id (deterministic).
+  void compute_routes();
+
+  // --- access --------------------------------------------------------------
+  Node& node(NodeId id) { return *nodes_.at(static_cast<std::size_t>(id)); }
+  const Node& node(NodeId id) const {
+    return *nodes_.at(static_cast<std::size_t>(id));
+  }
+  int node_count() const { return static_cast<int>(nodes_.size()); }
+  Simulator& sim() { return sim_; }
+
+  /// The link from `from` to its neighbour `to`, nullptr if not adjacent.
+  Link* link_between(NodeId from, NodeId to);
+
+  // --- multicast ------------------------------------------------------------
+  /// Create a source-rooted multicast group.  All traffic for the group must
+  /// originate at `source`.
+  GroupId create_group(NodeId source);
+  void join(GroupId g, NodeId member);
+  void leave(GroupId g, NodeId member);
+  bool is_member(GroupId g, NodeId n) const;
+  int member_count(GroupId g) const;
+
+  /// Distribution-tree fan-out at `at` for group `g` (empty when none).
+  const std::vector<Link*>& mcast_out_links(GroupId g, NodeId at) const;
+
+  /// Total end-to-end propagation delay of the unicast path a -> b,
+  /// +inf when unreachable.  (Diagnostics and tests.)
+  SimTime path_delay(NodeId a, NodeId b) const;
+
+ private:
+  struct GroupState {
+    NodeId source{kInvalidNode};
+    std::set<NodeId> members;
+    // out_links[node] = tree child links at that node.
+    std::vector<std::vector<Link*>> out_links;
+  };
+
+  void rebuild_tree(GroupState& g);
+
+  Simulator& sim_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::unique_ptr<Link>> links_;
+  // adjacency[from] = {(to, link)} for tree building and diagnostics.
+  std::vector<std::vector<std::pair<NodeId, Link*>>> adjacency_;
+  std::vector<GroupState> groups_;
+  std::vector<Link*> empty_links_{};
+  std::uint64_t rng_stream_counter_{1000};
+};
+
+}  // namespace tfmcc

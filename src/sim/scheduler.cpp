@@ -1,0 +1,72 @@
+#include "sim/scheduler.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace tfmcc {
+
+EventId Scheduler::schedule_at(SimTime t, EventCallback cb) {
+  if (t < now_) {
+    throw std::logic_error("Scheduler: event scheduled in the past (" +
+                           t.str() + " < " + now_.str() + ")");
+  }
+  auto rec = std::make_shared<detail::EventRecord>();
+  rec->callback = std::move(cb);
+  heap_.push(Entry{t, next_seq_++, rec});
+  return EventId{rec};
+}
+
+void Scheduler::cancel(const EventId& id) {
+  if (id.rec_ && !id.rec_->cancelled) {
+    id.rec_->cancelled = true;
+    id.rec_->callback = nullptr;  // release captured state promptly
+  }
+}
+
+void Scheduler::drop_cancelled_head() {
+  while (!heap_.empty() && heap_.top().rec->cancelled) heap_.pop();
+}
+
+bool Scheduler::empty() const {
+  // Note: may report false when only cancelled events remain; `step` skips
+  // them, so `run` still terminates correctly.
+  return heap_.empty();
+}
+
+bool Scheduler::step() {
+  drop_cancelled_head();
+  if (heap_.empty()) return false;
+  Entry e = heap_.top();
+  heap_.pop();
+  assert(e.t >= now_);
+  now_ = e.t;
+  EventCallback cb = std::move(e.rec->callback);
+  e.rec->callback = nullptr;
+  ++executed_;
+  cb();
+  return true;
+}
+
+void Scheduler::run(std::uint64_t limit) {
+  const std::uint64_t start = executed_;
+  while (step()) {
+    if (executed_ - start >= limit) {
+      throw std::runtime_error("Scheduler: event limit exceeded");
+    }
+  }
+}
+
+void Scheduler::run_until(SimTime t, std::uint64_t limit) {
+  const std::uint64_t start = executed_;
+  for (;;) {
+    drop_cancelled_head();
+    if (heap_.empty() || heap_.top().t > t) break;
+    step();
+    if (executed_ - start >= limit) {
+      throw std::runtime_error("Scheduler: event limit exceeded");
+    }
+  }
+  if (t > now_ && !t.is_infinite()) now_ = t;
+}
+
+}  // namespace tfmcc

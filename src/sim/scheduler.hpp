@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "util/sim_time.hpp"
+
+namespace tfmcc {
+
+using EventCallback = std::function<void()>;
+
+namespace detail {
+struct EventRecord {
+  EventCallback callback;
+  bool cancelled{false};
+};
+}  // namespace detail
+
+/// Handle to a scheduled event; allows cancellation.  Copyable; all copies
+/// refer to the same event.  A default-constructed id refers to nothing.
+class EventId {
+ public:
+  EventId() = default;
+
+  /// True while the event is scheduled and neither fired nor cancelled.
+  bool pending() const { return rec_ && !rec_->cancelled && rec_->callback; }
+
+ private:
+  friend class Scheduler;
+  explicit EventId(std::shared_ptr<detail::EventRecord> rec)
+      : rec_{std::move(rec)} {}
+  std::shared_ptr<detail::EventRecord> rec_;
+};
+
+/// Discrete-event scheduler.
+///
+/// Events at equal timestamps fire in insertion order (FIFO tie-break via a
+/// monotonically increasing sequence number), which together with the
+/// integer time base makes runs fully deterministic.  Cancellation is lazy:
+/// a cancelled event stays in the heap but its callback is released
+/// immediately and it is skipped when popped.
+class Scheduler {
+ public:
+  SimTime now() const { return now_; }
+
+  EventId schedule_at(SimTime t, EventCallback cb);
+  EventId schedule_in(SimTime delay, EventCallback cb) {
+    return schedule_at(now_ + delay, std::move(cb));
+  }
+
+  /// Cancel a pending event.  Safe to call on already-fired, already-
+  /// cancelled, or empty ids.
+  void cancel(const EventId& id);
+
+  /// Execute the next pending event.  Returns false when the queue is empty.
+  bool step();
+
+  /// Run until the queue drains or `limit` events have executed.
+  void run(std::uint64_t limit = kDefaultEventLimit);
+
+  /// Run all events with time <= t, then advance the clock to exactly t.
+  void run_until(SimTime t, std::uint64_t limit = kDefaultEventLimit);
+
+  std::uint64_t executed() const { return executed_; }
+  bool empty() const;
+
+  /// Safety valve for runaway simulations (e.g. a bug that reschedules at
+  /// the current time forever).  Exceeding it throws.
+  static constexpr std::uint64_t kDefaultEventLimit = 2'000'000'000;
+
+ private:
+  struct Entry {
+    SimTime t;
+    std::uint64_t seq;
+    std::shared_ptr<detail::EventRecord> rec;
+    bool operator>(const Entry& o) const {
+      if (t != o.t) return t > o.t;
+      return seq > o.seq;
+    }
+  };
+
+  void drop_cancelled_head();
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  SimTime now_{SimTime::zero()};
+  std::uint64_t next_seq_{0};
+  std::uint64_t executed_{0};
+};
+
+}  // namespace tfmcc

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+
+#include "sim/scheduler.hpp"
+#include "util/rng.hpp"
+#include "util/sim_time.hpp"
+
+namespace tfmcc {
+
+/// Simulation context handed to every component: the event scheduler plus a
+/// root RNG from which components derive their private streams.
+class Simulator {
+ public:
+  explicit Simulator(std::uint64_t seed = 1) : root_rng_{seed}, seed_{seed} {}
+
+  Scheduler& scheduler() { return sched_; }
+  SimTime now() const { return sched_.now(); }
+
+  EventId at(SimTime t, EventCallback cb) {
+    return sched_.schedule_at(t, std::move(cb));
+  }
+  EventId in(SimTime delay, EventCallback cb) {
+    return sched_.schedule_in(delay, std::move(cb));
+  }
+  void cancel(const EventId& id) { sched_.cancel(id); }
+
+  void run() { sched_.run(); }
+  void run_until(SimTime t) { sched_.run_until(t); }
+
+  std::uint64_t seed() const { return seed_; }
+
+  /// Fresh deterministic RNG stream; callers pass a unique stream id
+  /// (conventionally derived from component kind + instance index).
+  Rng make_rng(std::uint64_t stream_id) const {
+    return root_rng_.substream(stream_id);
+  }
+
+  /// Monotonically increasing id source for packets, flows, ...
+  std::uint64_t next_uid() { return ++uid_; }
+
+ private:
+  Scheduler sched_;
+  Rng root_rng_;
+  std::uint64_t seed_;
+  std::uint64_t uid_{0};
+};
+
+}  // namespace tfmcc

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+
+#include "net/packet.hpp"
+#include "util/sim_time.hpp"
+
+namespace tfmcc {
+
+/// How feedback timers are biased in favour of low-rate receivers (§2.5.1).
+enum class BiasMethod {
+  kUnbiased,        // plain exponential timers, Eq. (2)
+  kOffset,          // subtract an offset proportional to x, Eq. (3)
+  kModifiedOffset,  // Eq. (3) with x truncated to [0.5, 0.9] and renormalised
+  kModifiedN,       // reduce the receiver-set upper bound N with x
+};
+
+/// Parameters of the randomized feedback-timer mechanism.
+struct FeedbackTimerConfig {
+  double n_estimate{10000.0};  // N: upper bound on the receiver-set size
+  double zeta{0.25};           // ζ: fraction of T used as the bias offset
+  BiasMethod method{BiasMethod::kModifiedOffset};
+};
+
+/// All TFMCC protocol constants, defaulted to the paper's values (§ refs in
+/// DESIGN.md §4).  Every knob exists so the ablation benches can move it.
+struct TfmccConfig {
+  std::int32_t packet_bytes{kDataPacketBytes};
+  std::int32_t feedback_bytes{kFeedbackPacketBytes};
+
+  // RTT measurement (§2.4).
+  SimTime initial_rtt{SimTime::millis(500)};
+  double rtt_ewma_clr{0.05};       // EWMA weight for the CLR's RTT
+  double rtt_ewma_non_clr{0.5};    // ... for infrequently-measured receivers
+  double rtt_ewma_owd{0.1};        // ... for one-way-delay adjustments
+  bool use_clock_sync{false};      // NTP/GPS-style initialisation (§2.4.1)
+  SimTime clock_sync_error{SimTime::millis(30)};  // worst-case sync error
+
+  // Loss measurement (§2.3).
+  int loss_history_depth{8};
+
+  // Feedback suppression (§2.5).
+  FeedbackTimerConfig timer{};
+  double delta{0.1};           // δ: cancellation threshold (§2.5.2)
+  double t_mult{4.0};          // T = t_mult * R_max
+  int low_rate_guard{3};       // c: T >= (c+1)*s/rate at low rates (§2.5.3)
+
+  // Rate control (§2.2, §2.6).
+  double slowstart_mult{2.0};       // d: slowstart target = d * min recv rate
+  double increase_limit_pkts{1.0};  // packets/RTT cap while ramping to new CLR
+  double recv_rate_cap_mult{2.0};   // never send faster than this * CLR recv rate
+  double clr_timeout_mult{10.0};    // CLR silence timeout, in feedback delays
+  bool halve_on_starvation{true};   // no receivers at all -> halve per round
+
+  // Appendix C option: remember the previous CLR for quick switch-back.
+  bool remember_previous_clr{false};
+  SimTime previous_clr_hold{SimTime::millis(1500)};  // "a few RTTs"
+};
+
+/// Port conventions used by the TFMCC experiment harnesses.
+constexpr PortId kTfmccSenderPort = 1;
+constexpr PortId kTfmccDataPort = 2;
+
+}  // namespace tfmcc

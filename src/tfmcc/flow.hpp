@@ -1,0 +1,84 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "mcast/session.hpp"
+#include "tfmcc/receiver.hpp"
+#include "tfmcc/sender.hpp"
+#include "util/stats.hpp"
+
+namespace tfmcc {
+
+/// Convenience bundle for experiments: one TFMCC sender plus its receiver
+/// set, each receiver with a goodput binner attached.  This is the public
+/// "just give me a flow" API used by the examples and figure benches.
+class TfmccFlow {
+ public:
+  TfmccFlow(Simulator& sim, Topology& topo, NodeId source,
+            TfmccConfig cfg = {}, SimTime bin_width = SimTime::seconds(1.0),
+            std::uint64_t rng_stream = 7000)
+      : sim_{sim},
+        cfg_{cfg},
+        bin_width_{bin_width},
+        session_{topo, source, kTfmccDataPort},
+        sender_{std::make_unique<TfmccSender>(sim, session_, cfg,
+                                              sim.make_rng(rng_stream))},
+        rng_stream_{rng_stream} {}
+
+  /// Create a receiver on `node` (not yet joined).  Returns its index.
+  int add_receiver(NodeId node) {
+    const auto id = static_cast<std::int32_t>(receivers_.size());
+    receivers_.push_back(std::make_unique<TfmccReceiver>(
+        sim_, session_, node, id, cfg_, sim_.make_rng(rng_stream_ + 1 + id)));
+    goodput_.push_back(std::make_unique<ThroughputBinner>(bin_width_));
+    auto* binner = goodput_.back().get();
+    receivers_.back()->set_delivery_observer(
+        [binner](SimTime t, std::int32_t bytes) { binner->add(t, bytes); });
+    return id;
+  }
+
+  /// Add-and-join in one step.
+  int add_joined_receiver(NodeId node) {
+    const int id = add_receiver(node);
+    receivers_[static_cast<std::size_t>(id)]->join();
+    return id;
+  }
+
+  TfmccSender& sender() { return *sender_; }
+  const TfmccSender& sender() const { return *sender_; }
+  MulticastSession& session() { return session_; }
+  TfmccReceiver& receiver(int id) {
+    return *receivers_.at(static_cast<std::size_t>(id));
+  }
+  const ThroughputBinner& goodput(int id) const {
+    return *goodput_.at(static_cast<std::size_t>(id));
+  }
+  int receiver_count() const { return static_cast<int>(receivers_.size()); }
+
+  int receivers_with_rtt() const {
+    int n = 0;
+    for (const auto& r : receivers_) {
+      if (r->has_rtt_measurement()) ++n;
+    }
+    return n;
+  }
+
+  std::int64_t total_feedback_sent() const {
+    std::int64_t n = 0;
+    for (const auto& r : receivers_) n += r->feedback_sent();
+    return n;
+  }
+
+ private:
+  Simulator& sim_;
+  TfmccConfig cfg_;
+  SimTime bin_width_;
+  MulticastSession session_;
+  std::unique_ptr<TfmccSender> sender_;
+  std::vector<std::unique_ptr<TfmccReceiver>> receivers_;
+  std::vector<std::unique_ptr<ThroughputBinner>> goodput_;
+  std::uint64_t rng_stream_;
+};
+
+}  // namespace tfmcc

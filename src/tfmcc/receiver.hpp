@@ -1,0 +1,114 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "mcast/session.hpp"
+#include "net/node.hpp"
+#include "sim/simulator.hpp"
+#include "tfmcc/config.hpp"
+#include "tfrc/loss_history.hpp"
+#include "tfrc/seqno_tracker.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace tfmcc {
+
+/// A TFMCC receiver (§2): measures its loss event rate and RTT, computes the
+/// TCP-friendly rate from the control equation, and participates in the
+/// biased feedback-suppression protocol.  Attach one per member node.
+class TfmccReceiver final : public Agent {
+ public:
+  TfmccReceiver(Simulator& sim, MulticastSession& session, NodeId self,
+                std::int32_t receiver_id, TfmccConfig cfg, Rng rng);
+  ~TfmccReceiver() override;
+
+  TfmccReceiver(const TfmccReceiver&) = delete;
+  TfmccReceiver& operator=(const TfmccReceiver&) = delete;
+
+  /// Join the multicast session (graft onto the tree, start listening).
+  void join();
+  /// Leave: sends an explicit leave report (§4.2), prunes, stops listening.
+  void leave();
+
+  void handle_packet(const Packet& p) override;
+
+  /// Invoked once per delivered data packet: (time, bytes) — goodput hook.
+  void set_delivery_observer(std::function<void(SimTime, std::int32_t)> f) {
+    observer_ = std::move(f);
+  }
+
+  /// Invoked once per delivered data packet with the full header — for
+  /// applications layered on the stream (e.g. the file-carousel example).
+  void set_data_observer(
+      std::function<void(SimTime, const TfmccDataHeader&)> f) {
+    data_observer_ = std::move(f);
+  }
+
+  // --- state inspection (tests / experiment harnesses) ---------------------
+  std::int32_t id() const { return id_; }
+  bool joined() const { return joined_; }
+  bool has_rtt_measurement() const { return has_rtt_; }
+  SimTime rtt() const { return rtt_; }
+  double loss_event_rate() const { return loss_.loss_event_rate(); }
+  bool has_loss() const { return loss_.has_loss(); }
+  /// Rate from the control equation with current p and RTT; +inf before the
+  /// first loss event.
+  double calc_rate_Bps() const;
+  double recv_rate_Bps() const { return recv_rate_.rate_Bps(sim_.now()); }
+  bool is_clr() const { return is_clr_; }
+  std::int64_t feedback_sent() const { return feedback_sent_; }
+  std::int64_t packets_received() const { return seq_.received(); }
+  std::int64_t packets_lost() const { return seq_.lost(); }
+
+ private:
+  void on_data(const Packet& p, const TfmccDataHeader& h);
+  void process_losses(const Packet& p, const TfmccDataHeader& h,
+                      std::int64_t lost);
+  void process_echo(const TfmccDataHeader& h, SimTime now);
+  void process_one_way_delay(const TfmccDataHeader& h, SimTime now);
+  void on_new_round(const TfmccDataHeader& h, SimTime now);
+  void check_suppression(const TfmccDataHeader& h);
+  void update_clr_status(const TfmccDataHeader& h);
+  void send_feedback();
+  void schedule_clr_feedback();
+  /// Bias ratio x for the feedback timer (§2.5.1, §2.6).
+  double bias_ratio(const TfmccDataHeader& h) const;
+
+  Simulator& sim_;
+  MulticastSession& session_;
+  NodeId self_;
+  std::int32_t id_;
+  TfmccConfig cfg_;
+  Rng rng_;
+
+  bool joined_{false};
+
+  // Loss measurement.
+  SeqnoTracker seq_;
+  LossHistory loss_;
+  WindowedRateMeter recv_rate_;
+
+  // RTT state (§2.4).
+  SimTime rtt_;
+  bool has_rtt_{false};
+  SimTime owd_rs_{};       // receiver->sender one-way delay (incl. skew)
+  bool has_owd_{false};
+
+  // Snapshot of the latest data packet (for feedback echo fields).
+  SimTime last_data_send_ts_{};
+  SimTime last_data_arrival_{SimTime::infinity()};
+  double last_send_rate_{0.0};
+
+  // Feedback-round state (§2.5).
+  std::int32_t round_{-1};
+  EventId fb_timer_{};
+  bool is_clr_{false};
+  EventId clr_timer_{};
+
+  std::function<void(SimTime, std::int32_t)> observer_;
+  std::function<void(SimTime, const TfmccDataHeader&)> data_observer_;
+  std::int64_t feedback_sent_{0};
+};
+
+}  // namespace tfmcc

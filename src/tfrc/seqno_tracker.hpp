@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+
+namespace tfmcc {
+
+/// Detects losses from monotonically increasing sequence numbers.
+///
+/// The simulator's links are FIFO, so packets are never reordered: a gap in
+/// the sequence space is a loss the moment the next higher seqno arrives.
+/// (Real TFMCC waits a reordering window; with FIFO delivery the window is
+/// zero and loss detection is immediate.)
+class SeqnoTracker {
+ public:
+  struct Result {
+    std::int64_t lost{0};   // packets newly detected as lost
+    bool duplicate{false};  // seqno at or below the highest already seen
+  };
+
+  /// Process an arriving sequence number.
+  Result on_seqno(std::int64_t seqno) {
+    Result r;
+    if (!started_) {
+      started_ = true;
+      // Losses before the very first delivered packet are invisible to the
+      // receiver (it does not yet know the sender's numbering); real TFMCC
+      // behaves the same way, so we start counting from the first arrival.
+      next_ = seqno + 1;
+      ++received_;
+      return r;
+    }
+    if (seqno < next_) {
+      r.duplicate = true;
+      return r;
+    }
+    r.lost = seqno - next_;
+    lost_ += r.lost;
+    next_ = seqno + 1;
+    ++received_;
+    return r;
+  }
+
+  std::int64_t received() const { return received_; }
+  std::int64_t lost() const { return lost_; }
+  std::int64_t next_expected() const { return next_; }
+  bool started() const { return started_; }
+
+  /// Raw fraction of packets lost (diagnostic; the protocol itself uses the
+  /// loss *event* rate from LossHistory, not this).
+  double raw_loss_fraction() const {
+    const auto total = received_ + lost_;
+    return total > 0 ? static_cast<double>(lost_) / static_cast<double>(total)
+                     : 0.0;
+  }
+
+ private:
+  bool started_{false};
+  std::int64_t next_{0};
+  std::int64_t received_{0};
+  std::int64_t lost_{0};
+};
+
+}  // namespace tfmcc

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <initializer_list>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace tfmcc {
+
+/// Tiny CSV emitter used by the figure benches so every experiment prints a
+/// machine-readable trace in addition to its human-readable summary.
+class CsvWriter {
+ public:
+  CsvWriter(std::ostream& os, std::initializer_list<std::string_view> header)
+      : os_{os} {
+    bool first = true;
+    for (auto h : header) {
+      if (!first) os_ << ',';
+      os_ << h;
+      first = false;
+    }
+    os_ << '\n';
+  }
+
+  template <typename... Ts>
+  void row(const Ts&... fields) {
+    bool first = true;
+    ((write_field(fields, first), first = false), ...);
+    os_ << '\n';
+  }
+
+ private:
+  template <typename T>
+  void write_field(const T& v, bool first) {
+    if (!first) os_ << ',';
+    os_ << v;
+  }
+
+  std::ostream& os_;
+};
+
+}  // namespace tfmcc

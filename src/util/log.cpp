@@ -1,0 +1,41 @@
+#include "util/log.hpp"
+
+#include <cstdarg>
+
+namespace tfmcc {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+
+const char* level_name(LogLevel lvl) {
+  switch (lvl) {
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kDebug:
+      return "DEBUG";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel lvl) { g_level = lvl; }
+
+namespace detail {
+void vlog(LogLevel lvl, SimTime now, const char* component, const char* fmt,
+          ...) {
+  std::fprintf(stderr, "[%10.6f] %-5s %-12s ", now.to_seconds(),
+               level_name(lvl), component);
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+}
+}  // namespace detail
+
+}  // namespace tfmcc

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "util/sim_time.hpp"
+
+namespace tfmcc {
+
+enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+/// Process-wide log threshold.  Defaults to warnings only so that tests and
+/// benches stay quiet; scenario drivers raise it with `set_log_level`.
+LogLevel log_level();
+void set_log_level(LogLevel lvl);
+
+namespace detail {
+void vlog(LogLevel lvl, SimTime now, const char* component, const char* fmt,
+          ...) __attribute__((format(printf, 4, 5)));
+}  // namespace detail
+
+#define TFMCC_LOG(lvl, now, component, ...)                       \
+  do {                                                            \
+    if (static_cast<int>(lvl) <= static_cast<int>(::tfmcc::log_level())) \
+      ::tfmcc::detail::vlog(lvl, now, component, __VA_ARGS__);    \
+  } while (0)
+
+}  // namespace tfmcc

@@ -1,0 +1,14 @@
+#include "util/sim_time.hpp"
+
+#include <cstdio>
+
+namespace tfmcc {
+
+std::string SimTime::str() const {
+  if (is_infinite()) return "+inf";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6fs", to_seconds());
+  return buf;
+}
+
+}  // namespace tfmcc

@@ -1,0 +1,90 @@
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <limits>
+#include <string>
+
+namespace tfmcc {
+
+/// Simulation time, stored as a fixed-point count of nanoseconds.
+///
+/// Using an integer representation (rather than floating-point seconds, as
+/// ns-2 does) makes event ordering exact and simulations bit-reproducible:
+/// two events scheduled for the same instant compare equal and are broken by
+/// insertion order, never by accumulated rounding error.
+///
+/// The same type represents both absolute time points and durations, in the
+/// style of ns-3's `Time`.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+
+  /// Named constructors.
+  static constexpr SimTime zero() { return SimTime{0}; }
+  static constexpr SimTime nanos(std::int64_t n) { return SimTime{n}; }
+  static constexpr SimTime micros(std::int64_t u) { return SimTime{u * 1000}; }
+  static constexpr SimTime millis(std::int64_t m) {
+    return SimTime{m * 1'000'000};
+  }
+  static constexpr SimTime seconds(double s) {
+    return SimTime{static_cast<std::int64_t>(s * 1e9 + (s >= 0 ? 0.5 : -0.5))};
+  }
+  /// A sentinel later than any reachable simulation time.
+  static constexpr SimTime infinity() {
+    return SimTime{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  constexpr std::int64_t count_nanos() const { return ns_; }
+  constexpr double to_seconds() const { return static_cast<double>(ns_) * 1e-9; }
+  constexpr double to_millis() const { return static_cast<double>(ns_) * 1e-6; }
+
+  constexpr bool is_infinite() const { return *this == infinity(); }
+
+  friend constexpr auto operator<=>(SimTime, SimTime) = default;
+
+  constexpr SimTime operator+(SimTime o) const { return SimTime{ns_ + o.ns_}; }
+  constexpr SimTime operator-(SimTime o) const { return SimTime{ns_ - o.ns_}; }
+  constexpr SimTime operator*(double k) const {
+    return SimTime{static_cast<std::int64_t>(static_cast<double>(ns_) * k)};
+  }
+  constexpr SimTime operator/(double k) const {
+    return SimTime{static_cast<std::int64_t>(static_cast<double>(ns_) / k)};
+  }
+  constexpr double operator/(SimTime o) const {
+    return static_cast<double>(ns_) / static_cast<double>(o.ns_);
+  }
+  constexpr SimTime& operator+=(SimTime o) {
+    ns_ += o.ns_;
+    return *this;
+  }
+  constexpr SimTime& operator-=(SimTime o) {
+    ns_ -= o.ns_;
+    return *this;
+  }
+
+  std::string str() const;
+
+ private:
+  constexpr explicit SimTime(std::int64_t ns) : ns_{ns} {}
+  std::int64_t ns_{0};
+};
+
+constexpr SimTime operator*(double k, SimTime t) { return t * k; }
+
+namespace time_literals {
+constexpr SimTime operator""_sec(long double s) {
+  return SimTime::seconds(static_cast<double>(s));
+}
+constexpr SimTime operator""_sec(unsigned long long s) {
+  return SimTime::millis(static_cast<std::int64_t>(s) * 1000);
+}
+constexpr SimTime operator""_ms(unsigned long long m) {
+  return SimTime::millis(static_cast<std::int64_t>(m));
+}
+constexpr SimTime operator""_us(unsigned long long u) {
+  return SimTime::micros(static_cast<std::int64_t>(u));
+}
+}  // namespace time_literals
+
+}  // namespace tfmcc

@@ -1,0 +1,139 @@
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <deque>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/sim_time.hpp"
+
+namespace tfmcc {
+
+/// Streaming mean/variance/min/max (Welford's algorithm).
+class OnlineStats {
+ public:
+  void add(double x);
+
+  std::int64_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  double variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0; }
+  double stddev() const { return std::sqrt(variance()); }
+  /// Coefficient of variation; the paper's notion of rate "smoothness".
+  double cov() const { return mean() != 0.0 ? stddev() / mean() : 0.0; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::int64_t n_{0};
+  double mean_{0.0};
+  double m2_{0.0};
+  double min_{std::numeric_limits<double>::infinity()};
+  double max_{-std::numeric_limits<double>::infinity()};
+};
+
+/// A (time, value) series with CSV export; used by the figure benches.
+class TimeSeries {
+ public:
+  void push(SimTime t, double v) { points_.push_back({t, v}); }
+  std::size_t size() const { return points_.size(); }
+  bool empty() const { return points_.empty(); }
+
+  struct Point {
+    SimTime t;
+    double v;
+  };
+  const std::vector<Point>& points() const { return points_; }
+
+  /// Mean of values with t in [from, to).
+  double mean_in(SimTime from, SimTime to) const;
+  double max_value() const;
+
+  void write_csv(std::ostream& os, const std::string& label) const;
+
+ private:
+  std::vector<Point> points_;
+};
+
+/// Bins byte arrivals into fixed-width wall-clock bins and reports each bin
+/// as a throughput sample.  This is how all per-flow throughput traces in the
+/// figure benches are produced (the paper plots 1 s binned rates).
+class ThroughputBinner {
+ public:
+  explicit ThroughputBinner(SimTime bin_width) : width_{bin_width} {}
+
+  void add(SimTime t, std::int64_t bytes);
+
+  /// Completed bins as (bin start time, throughput in kbit/s).
+  TimeSeries series_kbps() const;
+
+  /// Average throughput (kbit/s) over [from, to), computed from raw bytes.
+  double mean_kbps(SimTime from, SimTime to) const;
+
+  std::int64_t total_bytes() const { return total_bytes_; }
+
+ private:
+  SimTime width_;
+  std::vector<std::int64_t> bins_;  // bytes per bin, bin i covers [i*w,(i+1)*w)
+  std::int64_t total_bytes_{0};
+};
+
+/// Sliding-window receive-rate estimator: rate over the span of the last
+/// k packet arrivals.  TFMCC receivers measure their receive rate "over
+/// several RTTs" (paper §2.6); the window is sized in packets but we also
+/// expose a time horizon so low-rate flows do not average over minutes.
+class WindowedRateMeter {
+ public:
+  explicit WindowedRateMeter(std::size_t max_packets = 64,
+                             SimTime max_horizon = SimTime::seconds(4.0))
+      : max_packets_{max_packets}, horizon_{max_horizon} {}
+
+  void on_packet(SimTime t, std::int64_t bytes);
+
+  /// Receive rate in bytes/second; 0 until two packets have arrived.
+  double rate_Bps(SimTime now) const;
+
+  bool has_estimate() const { return arrivals_.size() >= 2; }
+  void clear() { arrivals_.clear(); }
+
+ private:
+  struct Arrival {
+    SimTime t;
+    std::int64_t bytes;
+  };
+  std::size_t max_packets_;
+  SimTime horizon_;
+  std::deque<Arrival> arrivals_;
+};
+
+/// Fixed-bin histogram over [lo, hi); out-of-range samples clamp to the
+/// first/last bin.  Used by feedback-delay analyses.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::int64_t count() const { return total_; }
+  double quantile(double q) const;
+  const std::vector<std::int64_t>& bins() const { return counts_; }
+  double bin_center(std::size_t i) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::int64_t> counts_;
+  std::int64_t total_{0};
+};
+
+/// Exact quantile of a sample (copies + sorts; fine for analysis code).
+double quantile(std::vector<double> xs, double q);
+
+constexpr double kbps_from_Bps(double bytes_per_sec) {
+  return bytes_per_sec * 8.0 / 1000.0;
+}
+constexpr double Bps_from_kbps(double kbit_per_sec) {
+  return kbit_per_sec * 1000.0 / 8.0;
+}
+
+}  // namespace tfmcc

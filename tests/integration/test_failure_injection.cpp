@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "net/builders.hpp"
+#include "sim/simulator.hpp"
+#include "tfmcc/flow.hpp"
+
+namespace tfmcc {
+namespace {
+
+using namespace tfmcc::time_literals;
+
+/// Fault-injection scenarios: the protocol must fail towards *lower* rates
+/// (the paper's stated failure mode, §6) and recover when conditions heal.
+
+struct FaultFixture {
+  explicit FaultFixture(std::uint64_t seed = 91) : sim{seed}, topo{sim} {
+    LinkConfig trunk;
+    trunk.rate_bps = 2e6;
+    trunk.delay = 10_ms;
+    trunk.queue_limit_packets = 15;
+    star = make_star(topo, trunk, {trunk, trunk});
+    flow = std::make_unique<TfmccFlow>(sim, topo, star.sender);
+    flow->add_joined_receiver(star.leaves[0]);
+    flow->add_joined_receiver(star.leaves[1]);
+  }
+  Simulator sim;
+  Topology topo;
+  Star star;
+  std::unique_ptr<TfmccFlow> flow;
+};
+
+TEST(FaultInjection, TotalDataBlackoutDecaysRate) {
+  FaultFixture f;
+  f.flow->sender().start(SimTime::zero());
+  f.sim.run_until(60_sec);
+  const double before = f.flow->sender().rate_Bps();
+  // Forward path dies completely: no data reaches anyone, so no feedback
+  // returns.  The sender must decay, not transmit open-loop.
+  f.star.leaf_links[0].first->set_loss_rate(1.0);
+  f.star.leaf_links[1].first->set_loss_rate(1.0);
+  f.sim.run_until(180_sec);
+  EXPECT_LT(f.flow->sender().rate_Bps(), before / 2.0);
+}
+
+TEST(FaultInjection, RecoversAfterBlackoutHeals) {
+  FaultFixture f;
+  f.flow->sender().start(SimTime::zero());
+  f.sim.run_until(60_sec);
+  f.star.leaf_links[0].first->set_loss_rate(1.0);
+  f.star.leaf_links[1].first->set_loss_rate(1.0);
+  f.sim.run_until(150_sec);
+  const double during = f.flow->sender().rate_Bps();
+  f.star.leaf_links[0].first->set_loss_rate(0.0);
+  f.star.leaf_links[1].first->set_loss_rate(0.0);
+  f.sim.run_until(400_sec);
+  EXPECT_GT(f.flow->sender().rate_Bps(), during * 2.0);
+  EXPECT_GT(f.flow->receiver(0).packets_received(), 0);
+}
+
+TEST(FaultInjection, FeedbackBlackoutTriggersClrTimeoutNotHang) {
+  FaultFixture f;
+  f.flow->sender().start(SimTime::zero());
+  f.sim.run_until(60_sec);
+  const auto clr = f.flow->sender().clr();
+  ASSERT_NE(clr, kInvalidReceiver);
+  // Both reverse paths die: all feedback is lost, data still flows.
+  f.star.leaf_links[0].second->set_loss_rate(1.0);
+  f.star.leaf_links[1].second->set_loss_rate(1.0);
+  f.sim.run_until(300_sec);
+  // The CLR silence timeout fires and the safety decay engages; no hang,
+  // no rate explosion.
+  EXPECT_LT(f.flow->sender().rate_Bps(), Bps_from_kbps(2200.0));
+  f.star.leaf_links[0].second->set_loss_rate(0.0);
+  f.star.leaf_links[1].second->set_loss_rate(0.0);
+  f.sim.run_until(460_sec);
+  EXPECT_NE(f.flow->sender().clr(), kInvalidReceiver);
+}
+
+TEST(FaultInjection, ReceiverChurnDoesNotWedgeTheSession) {
+  FaultFixture f;
+  f.flow->sender().start(SimTime::zero());
+  // Receiver 1 joins and leaves every 10 s while receiver 0 stays.
+  for (int k = 0; k < 8; ++k) {
+    f.sim.at(SimTime::seconds(20.0 + 20.0 * k),
+             [&f] { f.flow->receiver(1).leave(); });
+    f.sim.at(SimTime::seconds(30.0 + 20.0 * k),
+             [&f] { f.flow->receiver(1).join(); });
+  }
+  f.sim.run_until(200_sec);
+  EXPECT_GT(f.flow->receiver(0).packets_received(), 1000);
+  EXPECT_GT(f.flow->goodput(0).mean_kbps(150_sec, 200_sec), 300.0);
+}
+
+TEST(FaultInjection, SessionWithNoReceiversStaysQuiet) {
+  Simulator sim{92};
+  Topology topo{sim};
+  LinkConfig trunk;
+  trunk.rate_bps = 2e6;
+  trunk.delay = 10_ms;
+  const Star star = make_star(topo, trunk, {trunk});
+  TfmccFlow flow{sim, topo, star.sender};  // receiver never joins
+  flow.sender().start(SimTime::zero());
+  sim.run_until(120_sec);
+  // Initial-rate transmission with no feedback must stay near the floor,
+  // not ramp open-loop.
+  EXPECT_LT(flow.sender().rate_Bps(), Bps_from_kbps(50.0));
+}
+
+TEST(FaultInjection, LateFirstReceiverStartsTheLoop) {
+  Simulator sim{93};
+  Topology topo{sim};
+  LinkConfig trunk;
+  trunk.rate_bps = 2e6;
+  trunk.delay = 10_ms;
+  trunk.queue_limit_packets = 15;
+  const Star star = make_star(topo, trunk, {trunk});
+  TfmccFlow flow{sim, topo, star.sender};
+  flow.add_receiver(star.leaves[0]);
+  flow.sender().start(SimTime::zero());
+  sim.at(60_sec, [&flow] { flow.receiver(0).join(); });
+  sim.run_until(240_sec);
+  EXPECT_GT(flow.goodput(0).mean_kbps(180_sec, 240_sec), 500.0);
+  EXPECT_EQ(flow.sender().clr(), 0);
+}
+
+TEST(FaultInjection, AsymmetricDelayDoesNotBreakRtt) {
+  // Forward path 10 ms, reverse path 90 ms: one-way-delay adjustments rely
+  // on skew cancellation, and the RTT estimate must land near the true
+  // 100 ms sum, not double-count either direction.
+  Simulator sim{94};
+  Topology topo{sim};
+  const NodeId s = topo.add_node();
+  const NodeId r = topo.add_node();
+  LinkConfig fwd;
+  fwd.rate_bps = 2e6;
+  fwd.delay = 10_ms;
+  fwd.queue_limit_packets = 15;
+  LinkConfig rev = fwd;
+  rev.delay = 90_ms;
+  topo.add_link(s, r, fwd);
+  topo.add_link(r, s, rev);
+  topo.compute_routes();
+  TfmccFlow flow{sim, topo, s};
+  flow.add_joined_receiver(r);
+  flow.sender().start(SimTime::zero());
+  sim.run_until(120_sec);
+  ASSERT_TRUE(flow.receiver(0).has_rtt_measurement());
+  EXPECT_GT(flow.receiver(0).rtt(), 95_ms);
+  EXPECT_LT(flow.receiver(0).rtt(), 250_ms);
+}
+
+}  // namespace
+}  // namespace tfmcc

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "net/builders.hpp"
+#include "sim/simulator.hpp"
+#include "tfmcc/flow.hpp"
+
+namespace tfmcc {
+namespace {
+
+using namespace tfmcc::time_literals;
+
+/// Star topology with a clean and a lossy receiver: CLR selection, explicit
+/// leave, and timeout behaviour (§2.2, §4.2).
+struct ClrFixture {
+  explicit ClrFixture(std::uint64_t seed = 61, double lossy_rate = 0.05)
+      : sim{seed}, topo{sim} {
+    LinkConfig sender_link;
+    sender_link.rate_bps = 10e6;
+    sender_link.delay = 5_ms;
+    LinkConfig clean;
+    clean.rate_bps = 10e6;
+    clean.delay = 10_ms;
+    LinkConfig lossy = clean;
+    lossy.loss_rate = lossy_rate;
+    star = make_star(topo, sender_link, {clean, lossy});
+    flow = std::make_unique<TfmccFlow>(sim, topo, star.sender);
+    flow->add_joined_receiver(star.leaves[0]);  // receiver 0: clean
+    flow->add_joined_receiver(star.leaves[1]);  // receiver 1: lossy
+  }
+  Simulator sim;
+  Topology topo;
+  Star star;
+  std::unique_ptr<TfmccFlow> flow;
+};
+
+TEST(TfmccClr, LossiestReceiverBecomesClr) {
+  ClrFixture f;
+  f.flow->sender().start(SimTime::zero());
+  f.sim.run_until(60_sec);
+  EXPECT_EQ(f.flow->sender().clr(), 1);
+  EXPECT_TRUE(f.flow->receiver(1).is_clr());
+  EXPECT_FALSE(f.flow->receiver(0).is_clr());
+}
+
+TEST(TfmccClr, RateMatchesLossyPathNotCleanPath) {
+  ClrFixture f;
+  f.flow->sender().start(SimTime::zero());
+  f.sim.run_until(120_sec);
+  const double rate_kbps = kbps_from_Bps(f.flow->sender().rate_Bps());
+  // The 5%-loss receiver's equation rate (~40ms RTT) is a few hundred
+  // kbit/s, far below the 10 Mbit/s links.
+  EXPECT_LT(rate_kbps, 2000.0);
+  EXPECT_GT(rate_kbps, 20.0);
+}
+
+TEST(TfmccClr, ExplicitLeaveTriggersSwitchAndRateIncrease) {
+  ClrFixture f;
+  f.flow->sender().start(SimTime::zero());
+  f.sim.run_until(90_sec);
+  ASSERT_EQ(f.flow->sender().clr(), 1);
+  const double before = f.flow->sender().rate_Bps();
+  f.flow->receiver(1).leave();
+  f.sim.run_until(240_sec);
+  // The clean receiver takes over and the rate ramps up (limited to one
+  // packet per RTT, so give it time).
+  EXPECT_EQ(f.flow->sender().clr(), 0);
+  EXPECT_GT(f.flow->sender().rate_Bps(), before * 1.5);
+}
+
+TEST(TfmccClr, ClrChangeIsRecordedInHistory) {
+  ClrFixture f;
+  f.flow->sender().start(SimTime::zero());
+  f.sim.run_until(60_sec);
+  const auto& hist = f.flow->sender().clr_history();
+  ASSERT_FALSE(hist.empty());
+  EXPECT_EQ(hist.back().second, 1);
+}
+
+TEST(TfmccClr, CrashedClrTimesOut) {
+  ClrFixture f;
+  f.flow->sender().start(SimTime::zero());
+  f.sim.run_until(90_sec);
+  ASSERT_EQ(f.flow->sender().clr(), 1);
+  // Simulate a crash: the receiver silently stops responding (no leave
+  // report) because its reverse path dies.
+  f.star.leaf_links[1].second->set_loss_rate(1.0);
+  f.sim.run_until(400_sec);
+  // The silence timeout must eventually replace the CLR.
+  EXPECT_NE(f.flow->sender().clr(), 1);
+}
+
+TEST(TfmccClr, NewLowRateReceiverTakesOverQuickly) {
+  // A receiver behind a much slower bottleneck joins mid-session; §4.5
+  // requires the CLR switch within a very few seconds.
+  Simulator sim{62};
+  Topology topo{sim};
+  LinkConfig sender_link;
+  sender_link.rate_bps = 10e6;
+  sender_link.delay = 5_ms;
+  LinkConfig fast;
+  fast.rate_bps = 10e6;
+  fast.delay = 10_ms;
+  LinkConfig slow;
+  slow.rate_bps = 200e3;  // 200 kbit/s tail circuit
+  slow.delay = 10_ms;
+  const Star star = make_star(topo, sender_link, {fast, slow});
+  TfmccFlow flow{sim, topo, star.sender};
+  flow.add_joined_receiver(star.leaves[0]);
+  flow.add_receiver(star.leaves[1]);
+  flow.sender().start(SimTime::zero());
+  sim.run_until(50_sec);
+  const double before_kbps = kbps_from_Bps(flow.sender().rate_Bps());
+  flow.receiver(1).join();
+  sim.run_until(65_sec);
+  EXPECT_EQ(flow.sender().clr(), 1);
+  const double after_kbps = kbps_from_Bps(flow.sender().rate_Bps());
+  EXPECT_LT(after_kbps, before_kbps);
+  EXPECT_LT(after_kbps, 400.0);  // near the 200 kbit/s tail
+}
+
+}  // namespace
+}  // namespace tfmcc

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "net/builders.hpp"
+#include "sim/simulator.hpp"
+#include "tfmcc/flow.hpp"
+
+namespace tfmcc {
+namespace {
+
+using namespace tfmcc::time_literals;
+
+/// Large receiver sets behind a shared bottleneck: the suppression
+/// mechanism must prevent feedback implosion while still delivering the
+/// lowest-rate reports to the sender (§2.5).
+struct CrowdFixture {
+  CrowdFixture(int n_receivers, double bottleneck_bps = 500e3,
+               std::uint64_t seed = 71)
+      : sim{seed}, topo{sim} {
+    LinkConfig bn;
+    bn.rate_bps = bottleneck_bps;
+    bn.delay = 20_ms;
+    LinkConfig acc;
+    acc.rate_bps = 100e6;
+    acc.delay = 2_ms;
+    dumbbell = make_dumbbell(topo, 1, n_receivers, bn, acc);
+    flow = std::make_unique<TfmccFlow>(sim, topo, dumbbell.left_hosts[0]);
+    for (int i = 0; i < n_receivers; ++i) {
+      flow->add_joined_receiver(dumbbell.right_hosts[static_cast<size_t>(i)]);
+    }
+  }
+  Simulator sim;
+  Topology topo;
+  Dumbbell dumbbell;
+  std::unique_ptr<TfmccFlow> flow;
+};
+
+TEST(TfmccFeedback, NoImplosionWith200Receivers) {
+  CrowdFixture f{200};
+  f.flow->sender().start(SimTime::zero());
+  f.sim.run_until(60_sec);
+  // All 200 receivers share one bottleneck: identical conditions, the
+  // worst case for suppression.  The sender must hear orders of magnitude
+  // fewer reports than a per-receiver-per-round implosion would produce.
+  const double rounds = static_cast<double>(f.flow->sender().round());
+  const double fb_per_round =
+      static_cast<double>(f.flow->sender().feedback_received()) /
+      std::max(1.0, rounds);
+  EXPECT_LT(fb_per_round, 40.0);
+  EXPECT_GT(f.flow->sender().feedback_received(), 0);
+}
+
+TEST(TfmccFeedback, FeedbackScalesSubLinearly) {
+  CrowdFixture small{25, 500e3, 72};
+  CrowdFixture large{200, 500e3, 72};
+  small.flow->sender().start(SimTime::zero());
+  large.flow->sender().start(SimTime::zero());
+  small.sim.run_until(60_sec);
+  large.sim.run_until(60_sec);
+  const auto per_round = [](const CrowdFixture& f) {
+    return static_cast<double>(f.flow->sender().feedback_received()) /
+           std::max(1, f.flow->sender().round());
+  };
+  // 8x the receivers must produce nowhere near 8x the feedback.
+  EXPECT_LT(per_round(large), 3.0 * per_round(small));
+}
+
+TEST(TfmccFeedback, SenderStillLearnsRates) {
+  CrowdFixture f{100};
+  f.flow->sender().start(SimTime::zero());
+  f.sim.run_until(90_sec);
+  // Suppression must not starve the sender of information: it converges
+  // to a sane rate for a 500 kbit/s bottleneck.
+  const double kbps = kbps_from_Bps(f.flow->sender().rate_Bps());
+  EXPECT_GT(kbps, 100.0);
+  EXPECT_LT(kbps, 650.0);
+}
+
+TEST(TfmccFeedback, RttAcquisitionProgresses) {
+  CrowdFixture f{100};
+  f.flow->sender().start(SimTime::zero());
+  f.sim.run_until(20_sec);
+  const int early = f.flow->receivers_with_rtt();
+  f.sim.run_until(120_sec);
+  const int later = f.flow->receivers_with_rtt();
+  // Fig. 12's mechanism: at least one receiver measures its RTT per round,
+  // so the count grows steadily.
+  EXPECT_GT(later, early);
+  EXPECT_GT(later, 10);
+}
+
+TEST(TfmccFeedback, EveryReceiverCountsLosses) {
+  CrowdFixture f{50};
+  f.flow->sender().start(SimTime::zero());
+  f.sim.run_until(60_sec);
+  int with_loss = 0;
+  for (int i = 0; i < 50; ++i) {
+    with_loss += f.flow->receiver(i).has_loss();
+  }
+  // Shared bottleneck: drops hit the multicast stream before the fan-out,
+  // so all receivers see them.
+  EXPECT_GT(with_loss, 40);
+}
+
+TEST(TfmccFeedback, LowRateGuardExtendsRound) {
+  // At very low sending rates the round must stretch to (c+1) packet
+  // intervals (§2.5.3).
+  Simulator sim{73};
+  Topology topo{sim};
+  LinkConfig slow;
+  slow.rate_bps = 40e3;  // 5 packets/s max
+  slow.delay = 20_ms;
+  const Star star = make_star(topo, slow, {slow});
+  TfmccFlow flow{sim, topo, star.sender};
+  flow.add_joined_receiver(star.leaves[0]);
+  flow.sender().start(SimTime::zero());
+  sim.run_until(120_sec);
+  const double pkt_interval =
+      kDataPacketBytes / std::max(flow.sender().rate_Bps(), 1.0);
+  EXPECT_GE(flow.sender().round_duration().to_seconds(),
+            (3 + 1) * pkt_interval * 0.99);
+}
+
+}  // namespace
+}  // namespace tfmcc

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "net/builders.hpp"
+#include "sim/simulator.hpp"
+#include "tfmcc/flow.hpp"
+#include "tfrc/equation.hpp"
+
+namespace tfmcc {
+namespace {
+
+using namespace tfmcc::time_literals;
+
+struct RttFixture {
+  explicit RttFixture(std::uint64_t seed = 81, TfmccConfig cfg = {})
+      : sim{seed}, topo{sim} {
+    LinkConfig sender_link;
+    sender_link.rate_bps = 2e6;
+    sender_link.delay = 5_ms;
+    LinkConfig a;
+    a.rate_bps = 2e6;
+    a.delay = 10_ms;  // RTT sender<->leaf0 = 2*(5+10) = 30 ms
+    LinkConfig b;
+    b.rate_bps = 2e6;
+    b.delay = 50_ms;  // RTT sender<->leaf1 = 2*(5+50) = 110 ms
+    star = make_star(topo, sender_link, {a, b});
+    flow = std::make_unique<TfmccFlow>(sim, topo, star.sender, cfg);
+    flow->add_joined_receiver(star.leaves[0]);
+    flow->add_joined_receiver(star.leaves[1]);
+  }
+  Simulator sim;
+  Topology topo;
+  Star star;
+  std::unique_ptr<TfmccFlow> flow;
+};
+
+TEST(TfmccRtt, EstimatesConvergeNearPathRtt) {
+  RttFixture f;
+  f.flow->sender().start(SimTime::zero());
+  f.sim.run_until(120_sec);
+  ASSERT_TRUE(f.flow->receiver(0).has_rtt_measurement());
+  ASSERT_TRUE(f.flow->receiver(1).has_rtt_measurement());
+  // Propagation RTTs are 30 ms and 110 ms; queueing adds some.
+  EXPECT_GT(f.flow->receiver(0).rtt(), 25_ms);
+  EXPECT_LT(f.flow->receiver(0).rtt(), 120_ms);
+  EXPECT_GT(f.flow->receiver(1).rtt(), 100_ms);
+  EXPECT_LT(f.flow->receiver(1).rtt(), 300_ms);
+}
+
+TEST(TfmccRtt, InitialEstimateIsConservative) {
+  RttFixture f;
+  // Before any measurement, receivers must use the 500 ms initial value.
+  EXPECT_EQ(f.flow->receiver(0).rtt(), 500_ms);
+}
+
+TEST(TfmccRtt, OneWayDelayAdjustmentTracksDelayIncrease) {
+  RttFixture f;
+  f.flow->sender().start(SimTime::zero());
+  f.sim.run_until(90_sec);
+  ASSERT_TRUE(f.flow->receiver(0).has_rtt_measurement());
+  const SimTime before = f.flow->receiver(0).rtt();
+  // Quadruple the one-way delay of leaf 0's links mid-run (fig. 13's RTT
+  // change).  The one-way-delay adjustments must raise the estimate even
+  // without a fresh echo.
+  f.star.leaf_links[0].first->set_delay(80_ms);
+  f.star.leaf_links[0].second->set_delay(80_ms);
+  f.sim.run_until(150_sec);
+  EXPECT_GT(f.flow->receiver(0).rtt(), before + 50_ms);
+}
+
+TEST(TfmccRtt, ClockSyncInitialisationUsesOneWayDelay) {
+  TfmccConfig cfg;
+  cfg.use_clock_sync = true;
+  cfg.clock_sync_error = 20_ms;
+  RttFixture f{82, cfg};
+  f.flow->sender().start(SimTime::zero());
+  // Stop before any echo can arrive at receiver 1 (its first packet lands
+  // after ~55 ms; echoes need a full feedback exchange).
+  f.sim.run_until(1_sec);
+  // §2.4.1: rtt ~= 2*(owd + err) = 2*(55+20) = 150 ms for leaf 1 —
+  // far better than the 500 ms default.
+  EXPECT_LT(f.flow->receiver(1).rtt(), 250_ms);
+  EXPECT_GT(f.flow->receiver(1).rtt(), 110_ms);
+}
+
+TEST(TfmccRtt, HighRttReceiverDominatesCalculatedRate) {
+  // Same loss conditions, different RTTs: the equation gives the high-RTT
+  // receiver the lower rate, so it must end up as CLR.
+  Simulator sim{83};
+  Topology topo{sim};
+  LinkConfig sender_link;
+  sender_link.rate_bps = 1e6;
+  sender_link.delay = 5_ms;
+  LinkConfig near;
+  near.rate_bps = 100e6;
+  near.delay = 10_ms;
+  LinkConfig far = near;
+  far.delay = 120_ms;
+  const Star star = make_star(topo, sender_link, {near, far});
+  TfmccFlow flow{sim, topo, star.sender};
+  flow.add_joined_receiver(star.leaves[0]);
+  flow.add_joined_receiver(star.leaves[1]);
+  flow.sender().start(SimTime::zero());
+  sim.run_until(180_sec);
+  // Both see the same (bottleneck) losses; the far receiver limits.
+  EXPECT_EQ(flow.sender().clr(), 1);
+}
+
+TEST(TfmccRtt, SenderSideMeasurementAdjustsInitialReports) {
+  // A receiver with 100% echo starvation would report with the initial
+  // 500 ms RTT; the sender-side measurement must prevent the rate from
+  // collapsing to the initial-RTT rate.  We approximate by checking the
+  // steady rate exceeds what a 500 ms RTT would permit at the measured
+  // loss rate.
+  RttFixture f;
+  f.flow->sender().start(SimTime::zero());
+  f.sim.run_until(120_sec);
+  const double p = f.flow->receiver(1).loss_event_rate();
+  if (p > 0.0) {
+    const double rate_at_init_rtt =
+        tcp_model::throughput_Bps(kDataPacketBytes, 500_ms, p);
+    EXPECT_GT(f.flow->sender().rate_Bps(), rate_at_init_rtt);
+  }
+}
+
+}  // namespace
+}  // namespace tfmcc

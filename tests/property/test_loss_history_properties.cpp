@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "tfrc/loss_history.hpp"
+#include "util/rng.hpp"
+
+namespace tfmcc {
+namespace {
+
+using namespace tfmcc::time_literals;
+
+/// (history depth, loss probability, seed) — random loss pattern sweep.
+using LhParam = std::tuple<int, double, int>;
+
+class LossHistorySweep : public ::testing::TestWithParam<LhParam> {
+ protected:
+  /// Drive a LossHistory with a Bernoulli loss pattern at 50 pkts/sec.
+  LossHistory drive(int packets, SimTime rtt) {
+    const auto [depth, p, seed] = GetParam();
+    LossHistory h{depth};
+    Rng rng{static_cast<std::uint64_t>(seed)};
+    SimTime t = SimTime::zero();
+    for (int i = 0; i < packets; ++i) {
+      t += 20_ms;
+      if (rng.bernoulli(p)) {
+        h.on_packet_lost(t, rtt);
+      } else {
+        h.on_packet_received();
+      }
+    }
+    return h;
+  }
+};
+
+TEST_P(LossHistorySweep, LossEventRateIsAProbability) {
+  const auto h = drive(5000, 100_ms);
+  EXPECT_GE(h.loss_event_rate(), 0.0);
+  EXPECT_LE(h.loss_event_rate(), 1.0);
+}
+
+TEST_P(LossHistorySweep, IntervalsAreNonNegativeAndBounded) {
+  const auto [depth, p, seed] = GetParam();
+  const auto h = drive(5000, 100_ms);
+  EXPECT_LE(h.intervals().size(), static_cast<std::size_t>(depth));
+  for (double iv : h.intervals()) EXPECT_GE(iv, 0.0);
+  EXPECT_GE(h.open_interval(), 0.0);
+}
+
+TEST_P(LossHistorySweep, EventRateBoundedByRawLossRate) {
+  // Aggregating losses into events can only reduce the measured rate, so
+  // p_event <= ~p_packet (with estimation slack for short histories).
+  const auto [depth, p, seed] = GetParam();
+  if (p <= 0.0) return;
+  const auto h = drive(20000, 100_ms);
+  if (!h.has_loss()) return;
+  EXPECT_LE(h.loss_event_rate(), p * 2.5 + 0.02);
+}
+
+TEST_P(LossHistorySweep, ReaggregationWithSameRttIsStable) {
+  const auto [depth, p, seed] = GetParam();
+  auto h = drive(3000, 100_ms);
+  if (!h.has_loss()) return;
+  const int events_before = h.event_count();
+  h.reaggregate(100_ms);
+  // The bounded loss log may cover fewer events than the lifetime count,
+  // but never more.
+  EXPECT_LE(h.event_count(), events_before);
+  EXPECT_GT(h.event_count(), 0);
+}
+
+TEST_P(LossHistorySweep, LargerAggregationRttNeverIncreasesEvents) {
+  const auto [depth, p, seed] = GetParam();
+  auto h1 = drive(3000, 100_ms);
+  auto h2 = drive(3000, 100_ms);  // identical pattern (same seed)
+  if (!h1.has_loss()) return;
+  h1.reaggregate(50_ms);
+  h2.reaggregate(800_ms);
+  EXPECT_GE(h1.event_count(), h2.event_count());
+}
+
+TEST_P(LossHistorySweep, AverageIntervalConsistentWithRate) {
+  const auto h = drive(5000, 100_ms);
+  if (!h.has_loss()) return;
+  EXPECT_NEAR(h.loss_event_rate() * h.average_interval(), 1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, LossHistorySweep,
+    ::testing::Combine(::testing::Values(4, 8, 32),
+                       ::testing::Values(0.001, 0.01, 0.08, 0.3),
+                       ::testing::Values(1, 2, 3)));
+
+}  // namespace
+}  // namespace tfmcc

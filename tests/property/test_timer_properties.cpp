@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "tfmcc/feedback_timer.hpp"
+
+namespace tfmcc {
+namespace {
+
+namespace ft = feedback_timer;
+
+using TimerParam = std::tuple<BiasMethod, double /*x*/, double /*N*/>;
+
+class TimerSweep : public ::testing::TestWithParam<TimerParam> {
+ protected:
+  FeedbackTimerConfig config() const {
+    FeedbackTimerConfig cfg;
+    cfg.method = std::get<0>(GetParam());
+    cfg.n_estimate = std::get<2>(GetParam());
+    return cfg;
+  }
+  double x() const { return std::get<1>(GetParam()); }
+};
+
+TEST_P(TimerSweep, DrawStaysInUnitInterval) {
+  const auto cfg = config();
+  Rng rng{17};
+  for (int i = 0; i < 5000; ++i) {
+    const double t = ft::draw(x(), cfg, rng);
+    ASSERT_GE(t, 0.0);
+    ASSERT_LE(t, 1.0);
+  }
+}
+
+TEST_P(TimerSweep, FromUniformIsMonotoneInU) {
+  // Later-scheduled (larger-u) receivers never fire before earlier ones
+  // with the same x: the transform is non-decreasing in u.
+  const auto cfg = config();
+  double prev = -1.0;
+  for (double u = 0.001; u <= 1.0; u += 0.013) {
+    const double t = ft::from_uniform(u, x(), cfg);
+    ASSERT_GE(t, prev);
+    prev = t;
+  }
+}
+
+TEST_P(TimerSweep, CdfIsAValidDistribution) {
+  const auto cfg = config();
+  double prev = 0.0;
+  for (double t = 0.0; t <= 1.001; t += 0.01) {
+    const double f = ft::cdf(t, x(), cfg);
+    ASSERT_GE(f, prev - 1e-12);
+    ASSERT_GE(f, 0.0);
+    ASSERT_LE(f, 1.0);
+    prev = f;
+  }
+  EXPECT_NEAR(ft::cdf(1.0, x(), cfg), 1.0, 1e-9);
+}
+
+TEST_P(TimerSweep, CdfInvertsTheTransform) {
+  // F(g(u)) >= u for every u (equality wherever the CDF is continuous).
+  const auto cfg = config();
+  for (double u : {0.05, 0.3, 0.6, 0.95}) {
+    const double t = ft::from_uniform(u, x(), cfg);
+    EXPECT_GE(ft::cdf(t, x(), cfg) + 1e-9, u);
+  }
+}
+
+TEST_P(TimerSweep, LowerRatioNeverFiresLater) {
+  const auto cfg = config();
+  for (double u : {0.1, 0.5, 0.9}) {
+    EXPECT_LE(ft::from_uniform(u, std::max(0.0, x() - 0.2), cfg),
+              ft::from_uniform(u, x(), cfg) + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, TimerSweep,
+    ::testing::Combine(::testing::Values(BiasMethod::kUnbiased,
+                                         BiasMethod::kOffset,
+                                         BiasMethod::kModifiedOffset,
+                                         BiasMethod::kModifiedN),
+                       ::testing::Values(0.0, 0.3, 0.7, 1.0),
+                       ::testing::Values(100.0, 10000.0)));
+
+}  // namespace
+}  // namespace tfmcc

@@ -1,0 +1,83 @@
+#include "analysis/order_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace tfmcc {
+namespace {
+
+namespace os = order_stats;
+
+TEST(OrderStats, IncompleteGammaKnownValues) {
+  // P(1, x) = 1 - e^-x.
+  for (double x : {0.1, 0.5, 1.0, 3.0}) {
+    EXPECT_NEAR(os::reg_lower_incomplete_gamma(1.0, x), 1.0 - std::exp(-x),
+                1e-10);
+  }
+  // P(a, 0) = 0 and P(a, inf) -> 1.
+  EXPECT_DOUBLE_EQ(os::reg_lower_incomplete_gamma(2.5, 0.0), 0.0);
+  EXPECT_NEAR(os::reg_lower_incomplete_gamma(2.5, 100.0), 1.0, 1e-12);
+}
+
+TEST(OrderStats, IncompleteGammaHalfIntegerValue) {
+  // P(1/2, x) = erf(sqrt(x)).
+  for (double x : {0.25, 1.0, 4.0}) {
+    EXPECT_NEAR(os::reg_lower_incomplete_gamma(0.5, x), std::erf(std::sqrt(x)),
+                1e-10);
+  }
+}
+
+TEST(OrderStats, IncompleteGammaInvalidArgsThrow) {
+  EXPECT_THROW(os::reg_lower_incomplete_gamma(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(os::reg_lower_incomplete_gamma(1.0, -1.0), std::invalid_argument);
+}
+
+TEST(OrderStats, GammaCdfMedianOfShape1) {
+  // Gamma(1, theta) is Exponential(theta): median = theta*ln2.
+  EXPECT_NEAR(os::gamma_cdf(2.0 * std::log(2.0), 1.0, 2.0), 0.5, 1e-10);
+}
+
+TEST(OrderStats, ExpectedMinExponentialClosedForm) {
+  EXPECT_DOUBLE_EQ(os::expected_min_exponential(10.0, 1), 10.0);
+  EXPECT_DOUBLE_EQ(os::expected_min_exponential(10.0, 5), 2.0);
+}
+
+TEST(OrderStats, ExpectedMinGammaMatchesExponentialForShape1) {
+  // Gamma(1, theta) = Exp(theta): E[min of n] = theta/n.
+  for (int n : {1, 4, 16}) {
+    EXPECT_NEAR(os::expected_min_gamma(1.0, 3.0, n), 3.0 / n, 0.01);
+  }
+}
+
+TEST(OrderStats, ExpectedMinGammaSingleIsMean) {
+  EXPECT_NEAR(os::expected_min_gamma(8.0, 0.5, 1), 4.0, 0.01);
+}
+
+TEST(OrderStats, ExpectedMinGammaDecreasesWithN) {
+  double prev = 1e18;
+  for (int n : {1, 10, 100, 1000}) {
+    const double v = os::expected_min_gamma(8.0, 1.0, n);
+    EXPECT_LT(v, prev);
+    prev = v;
+  }
+}
+
+TEST(OrderStats, GammaMinConcentratesSlowerThanExponential) {
+  // §3: averaging `k` intervals (gamma with shape k) mitigates the 1/n
+  // collapse of the single-interval (exponential) minimum.
+  const int n = 1000;
+  const double exp_min = os::expected_min_exponential(1.0, n);
+  const double gamma_min = os::expected_min_gamma(8.0, 1.0 / 8.0, n);  // mean 1
+  EXPECT_GT(gamma_min, 10.0 * exp_min);
+}
+
+TEST(OrderStats, MonteCarloAgreesWithNumericIntegration) {
+  Rng rng{77};
+  const double mc = os::expected_min_gamma_mc(8.0, 1.0, 50, 4000, rng);
+  const double ni = os::expected_min_gamma(8.0, 1.0, 50);
+  EXPECT_NEAR(mc, ni, 0.12 * ni);
+}
+
+}  // namespace
+}  // namespace tfmcc

@@ -1,0 +1,147 @@
+#include "sim/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace tfmcc {
+namespace {
+
+using namespace tfmcc::time_literals;
+
+TEST(Scheduler, ExecutesInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_at(3_ms, [&] { order.push_back(3); });
+  s.schedule_at(1_ms, [&] { order.push_back(1); });
+  s.schedule_at(2_ms, [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), 3_ms);
+}
+
+TEST(Scheduler, FifoTieBreakAtEqualTimes) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    s.schedule_at(5_ms, [&order, i] { order.push_back(i); });
+  }
+  s.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Scheduler, CancelPreventsExecution) {
+  Scheduler s;
+  bool fired = false;
+  EventId id = s.schedule_at(1_ms, [&] { fired = true; });
+  EXPECT_TRUE(id.pending());
+  s.cancel(id);
+  EXPECT_FALSE(id.pending());
+  s.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Scheduler, CancelIsIdempotentAndSafeOnEmptyId) {
+  Scheduler s;
+  EventId empty;
+  s.cancel(empty);  // must not crash
+  EventId id = s.schedule_at(1_ms, [] {});
+  s.cancel(id);
+  s.cancel(id);
+  s.run();
+}
+
+TEST(Scheduler, EventIdNotPendingAfterFire) {
+  Scheduler s;
+  EventId id = s.schedule_at(1_ms, [] {});
+  s.run();
+  EXPECT_FALSE(id.pending());
+}
+
+TEST(Scheduler, SchedulingInThePastThrows) {
+  Scheduler s;
+  s.schedule_at(10_ms, [] {});
+  s.run();
+  EXPECT_THROW(s.schedule_at(5_ms, [] {}), std::logic_error);
+}
+
+TEST(Scheduler, EventsCanScheduleEvents) {
+  Scheduler s;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 5) s.schedule_in(1_ms, chain);
+  };
+  s.schedule_at(SimTime::zero(), chain);
+  s.run();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(s.now(), 4_ms);
+}
+
+TEST(Scheduler, RunUntilStopsAndAdvancesClock) {
+  Scheduler s;
+  int fired = 0;
+  s.schedule_at(1_ms, [&] { ++fired; });
+  s.schedule_at(10_ms, [&] { ++fired; });
+  s.run_until(5_ms);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(s.now(), 5_ms);
+  s.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Scheduler, RunUntilExecutesEventAtBoundary) {
+  Scheduler s;
+  bool fired = false;
+  s.schedule_at(5_ms, [&] { fired = true; });
+  s.run_until(5_ms);
+  EXPECT_TRUE(fired);
+}
+
+TEST(Scheduler, EventLimitGuard) {
+  Scheduler s;
+  std::function<void()> forever = [&] { s.schedule_in(SimTime::zero(), forever); };
+  s.schedule_at(SimTime::zero(), forever);
+  EXPECT_THROW(s.run(1000), std::runtime_error);
+}
+
+TEST(Scheduler, ExecutedCounter) {
+  Scheduler s;
+  for (int i = 0; i < 7; ++i) s.schedule_at(SimTime::millis(i), [] {});
+  s.run();
+  EXPECT_EQ(s.executed(), 7u);
+}
+
+TEST(Scheduler, CancelledEventReleasesCallbackState) {
+  Scheduler s;
+  auto token = std::make_shared<int>(42);
+  std::weak_ptr<int> weak = token;
+  EventId id = s.schedule_at(1_ms, [t = std::move(token)] { (void)t; });
+  s.cancel(id);
+  EXPECT_TRUE(weak.expired());  // captured state freed on cancellation
+}
+
+TEST(Simulator, FacadeSchedulesAndRuns) {
+  Simulator sim{123};
+  int fired = 0;
+  sim.in(2_ms, [&] { ++fired; });
+  sim.at(1_ms, [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), 2_ms);
+}
+
+TEST(Simulator, UidsAreUnique) {
+  Simulator sim{1};
+  EXPECT_NE(sim.next_uid(), sim.next_uid());
+}
+
+TEST(Simulator, RngStreamsReproducible) {
+  Simulator a{99}, b{99};
+  EXPECT_EQ(a.make_rng(5).next_u64(), b.make_rng(5).next_u64());
+}
+
+}  // namespace
+}  // namespace tfmcc

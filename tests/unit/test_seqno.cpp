@@ -1,0 +1,76 @@
+#include "tfrc/seqno_tracker.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tfmcc {
+namespace {
+
+TEST(SeqnoTracker, InOrderSequenceHasNoLoss) {
+  SeqnoTracker t;
+  for (int i = 0; i < 100; ++i) {
+    const auto r = t.on_seqno(i);
+    EXPECT_EQ(r.lost, 0);
+    EXPECT_FALSE(r.duplicate);
+  }
+  EXPECT_EQ(t.received(), 100);
+  EXPECT_EQ(t.lost(), 0);
+}
+
+TEST(SeqnoTracker, GapCountsLostPackets) {
+  SeqnoTracker t;
+  t.on_seqno(0);
+  t.on_seqno(1);
+  const auto r = t.on_seqno(5);  // 2, 3, 4 missing
+  EXPECT_EQ(r.lost, 3);
+  EXPECT_EQ(t.lost(), 3);
+  EXPECT_EQ(t.next_expected(), 6);
+}
+
+TEST(SeqnoTracker, FirstPacketDefinesOrigin) {
+  SeqnoTracker t;
+  // Joining mid-stream: the first seen packet is the baseline; the 41
+  // packets before it are not counted as lost.
+  const auto r = t.on_seqno(42);
+  EXPECT_EQ(r.lost, 0);
+  EXPECT_EQ(t.next_expected(), 43);
+}
+
+TEST(SeqnoTracker, DuplicateAndOldPacketsIgnored) {
+  SeqnoTracker t;
+  t.on_seqno(0);
+  t.on_seqno(1);
+  const auto dup = t.on_seqno(1);
+  EXPECT_TRUE(dup.duplicate);
+  const auto old = t.on_seqno(0);
+  EXPECT_TRUE(old.duplicate);
+  EXPECT_EQ(t.received(), 2);
+}
+
+TEST(SeqnoTracker, RawLossFraction) {
+  SeqnoTracker t;
+  t.on_seqno(0);
+  t.on_seqno(3);  // 1, 2 lost
+  t.on_seqno(4);
+  // 3 received (0,3,4), 2 lost -> 2/5.
+  EXPECT_DOUBLE_EQ(t.raw_loss_fraction(), 0.4);
+}
+
+TEST(SeqnoTracker, ConsecutiveGaps) {
+  SeqnoTracker t;
+  t.on_seqno(0);
+  EXPECT_EQ(t.on_seqno(2).lost, 1);
+  EXPECT_EQ(t.on_seqno(4).lost, 1);
+  EXPECT_EQ(t.on_seqno(10).lost, 5);
+  EXPECT_EQ(t.lost(), 7);
+}
+
+TEST(SeqnoTracker, NotStartedInitially) {
+  SeqnoTracker t;
+  EXPECT_FALSE(t.started());
+  EXPECT_DOUBLE_EQ(t.raw_loss_fraction(), 0.0);
+  t.on_seqno(7);
+  EXPECT_TRUE(t.started());
+}
+
+}  // namespace
+}  // namespace tfmcc

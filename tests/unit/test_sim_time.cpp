@@ -1,0 +1,79 @@
+#include "util/sim_time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tfmcc {
+namespace {
+
+using namespace tfmcc::time_literals;
+
+TEST(SimTime, DefaultIsZero) {
+  SimTime t;
+  EXPECT_EQ(t, SimTime::zero());
+  EXPECT_EQ(t.count_nanos(), 0);
+}
+
+TEST(SimTime, NamedConstructors) {
+  EXPECT_EQ(SimTime::nanos(1500).count_nanos(), 1500);
+  EXPECT_EQ(SimTime::micros(2).count_nanos(), 2000);
+  EXPECT_EQ(SimTime::millis(3).count_nanos(), 3'000'000);
+  EXPECT_EQ(SimTime::seconds(1.5).count_nanos(), 1'500'000'000);
+}
+
+TEST(SimTime, SecondsRoundTrip) {
+  EXPECT_DOUBLE_EQ(SimTime::seconds(0.125).to_seconds(), 0.125);
+  EXPECT_DOUBLE_EQ(SimTime::millis(250).to_millis(), 250.0);
+}
+
+TEST(SimTime, SecondsRoundsToNearestNanosecond) {
+  // 1e-10 s rounds to 0 ns; 0.6e-9 rounds to 1 ns.
+  EXPECT_EQ(SimTime::seconds(1e-10).count_nanos(), 0);
+  EXPECT_EQ(SimTime::seconds(0.6e-9).count_nanos(), 1);
+}
+
+TEST(SimTime, Comparisons) {
+  EXPECT_LT(1_ms, 2_ms);
+  EXPECT_LE(2_ms, 2_ms);
+  EXPECT_GT(1_sec, 999_ms);
+  EXPECT_EQ(1000_us, 1_ms);
+}
+
+TEST(SimTime, Arithmetic) {
+  EXPECT_EQ(1_ms + 2_ms, 3_ms);
+  EXPECT_EQ(5_ms - 2_ms, 3_ms);
+  EXPECT_EQ((4_ms) * 0.5, 2_ms);
+  EXPECT_EQ((4_ms) / 2.0, 2_ms);
+  EXPECT_DOUBLE_EQ(4_ms / (2_ms), 2.0);
+}
+
+TEST(SimTime, CompoundAssignment) {
+  SimTime t = 1_ms;
+  t += 2_ms;
+  EXPECT_EQ(t, 3_ms);
+  t -= 1_ms;
+  EXPECT_EQ(t, 2_ms);
+}
+
+TEST(SimTime, ScalarMultiplicationCommutes) {
+  EXPECT_EQ(2.0 * (3_ms), (3_ms) * 2.0);
+}
+
+TEST(SimTime, Infinity) {
+  EXPECT_TRUE(SimTime::infinity().is_infinite());
+  EXPECT_FALSE((1_sec).is_infinite());
+  EXPECT_GT(SimTime::infinity(), SimTime::seconds(1e9));
+}
+
+TEST(SimTime, NegativeDurations) {
+  const SimTime d = 1_ms - 2_ms;
+  EXPECT_LT(d, SimTime::zero());
+  EXPECT_EQ(d + 2_ms, 1_ms);
+}
+
+TEST(SimTime, StrFormat) {
+  EXPECT_EQ((1500_ms).str(), "1.500000s");
+  EXPECT_EQ(SimTime::infinity().str(), "+inf");
+}
+
+}  // namespace
+}  // namespace tfmcc

@@ -1,0 +1,244 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "mcast/session.hpp"
+#include "net/builders.hpp"
+#include "sim/simulator.hpp"
+#include "tfmcc/receiver.hpp"
+#include "util/stats.hpp"
+
+namespace tfmcc {
+namespace {
+
+using namespace tfmcc::time_literals;
+
+/// White-box receiver tests: craft data packets and inspect the receiver's
+/// measurement and suppression state directly.
+struct ReceiverFixture {
+  ReceiverFixture() : sim{41}, topo{sim} {
+    LinkConfig cfg;
+    cfg.rate_bps = 1e9;
+    cfg.delay = 1_ms;
+    star = make_star(topo, cfg, {cfg});
+    session = std::make_unique<MulticastSession>(topo, star.sender,
+                                                 kTfmccDataPort);
+    receiver = std::make_unique<TfmccReceiver>(sim, *session, star.leaves[0],
+                                               0, TfmccConfig{},
+                                               sim.make_rng(66));
+    receiver->join();
+  }
+
+  /// Deliver a crafted data packet directly to the receiver.
+  void deliver(TfmccDataHeader h, SimTime age = SimTime::millis(20)) {
+    Packet p;
+    p.uid = sim.next_uid();
+    p.src = star.sender;
+    p.group = session->group();
+    p.dport = kTfmccDataPort;
+    p.size_bytes = kDataPacketBytes;
+    if (h.send_ts == SimTime::zero()) h.send_ts = sim.now() - age;
+    if (h.fb_deadline == SimTime::zero()) h.fb_deadline = 2_sec;
+    p.header = h;
+    receiver->handle_packet(p);
+  }
+
+  TfmccDataHeader data(std::int64_t seqno, double rate_kbps = 1000.0) {
+    TfmccDataHeader h;
+    h.seqno = seqno;
+    h.send_rate_Bps = Bps_from_kbps(rate_kbps);
+    h.round = round;
+    return h;
+  }
+
+  /// Advance the sim clock without other side effects.
+  void advance(SimTime d) { sim.run_until(sim.now() + d); }
+
+  Simulator sim;
+  Topology topo;
+  Star star;
+  std::unique_ptr<MulticastSession> session;
+  std::unique_ptr<TfmccReceiver> receiver;
+  std::int32_t round{1};
+};
+
+TEST(TfmccReceiverUnit, CleanStreamMeansNoLoss) {
+  ReceiverFixture f;
+  for (int i = 0; i < 50; ++i) {
+    f.deliver(f.data(i));
+    f.advance(10_ms);
+  }
+  EXPECT_FALSE(f.receiver->has_loss());
+  EXPECT_DOUBLE_EQ(f.receiver->loss_event_rate(), 0.0);
+  EXPECT_EQ(f.receiver->packets_received(), 50);
+}
+
+TEST(TfmccReceiverUnit, GapTriggersLossAndHistoryInit) {
+  ReceiverFixture f;
+  for (int i = 0; i < 20; ++i) {
+    f.deliver(f.data(i));
+    f.advance(10_ms);
+  }
+  f.deliver(f.data(25));  // packets 20..24 lost
+  EXPECT_TRUE(f.receiver->has_loss());
+  EXPECT_EQ(f.receiver->packets_lost(), 5);
+  // Appendix B: the first interval is synthesised from the receive rate,
+  // so p is moderate — not 4/25.
+  EXPECT_GT(f.receiver->loss_event_rate(), 0.0);
+  EXPECT_LT(f.receiver->loss_event_rate(), 0.1);
+}
+
+TEST(TfmccReceiverUnit, DuplicatePacketIsIgnored) {
+  ReceiverFixture f;
+  f.deliver(f.data(0));
+  f.advance(10_ms);
+  f.deliver(f.data(1));
+  f.advance(10_ms);
+  f.deliver(f.data(1));  // duplicate
+  EXPECT_EQ(f.receiver->packets_received(), 2);
+}
+
+TEST(TfmccReceiverUnit, EchoYieldsRttMeasurement) {
+  ReceiverFixture f;
+  EXPECT_EQ(f.receiver->rtt(), 500_ms);  // initial value
+  auto h = f.data(0);
+  h.echo.receiver = 0;
+  h.echo.ts = f.sim.now() - 80_ms;  // our feedback left 80 ms ago
+  h.echo.delay = 30_ms;             // sender held it 30 ms
+  f.deliver(h);
+  ASSERT_TRUE(f.receiver->has_rtt_measurement());
+  EXPECT_EQ(f.receiver->rtt(), 50_ms);  // 80 - 30
+}
+
+TEST(TfmccReceiverUnit, EchoForOtherReceiverIsNotARttSample) {
+  ReceiverFixture f;
+  auto h = f.data(0);
+  h.echo.receiver = 7;  // someone else
+  h.echo.ts = f.sim.now() - 80_ms;
+  f.deliver(h);
+  EXPECT_FALSE(f.receiver->has_rtt_measurement());
+}
+
+TEST(TfmccReceiverUnit, SubsequentEchoesAreSmoothed) {
+  ReceiverFixture f;
+  auto h = f.data(0);
+  h.echo.receiver = 0;
+  h.echo.ts = f.sim.now() - 100_ms;
+  f.deliver(h);
+  ASSERT_EQ(f.receiver->rtt(), 100_ms);
+  f.advance(10_ms);
+  auto h2 = f.data(1);
+  h2.echo.receiver = 0;
+  h2.echo.ts = f.sim.now() - 200_ms;
+  f.deliver(h2);
+  // Non-CLR EWMA weight 0.5: estimate moves halfway towards the new
+  // sample (the one-way-delay adjustment path is skipped for real
+  // samples).
+  EXPECT_GT(f.receiver->rtt(), 140_ms);
+  EXPECT_LT(f.receiver->rtt(), 160_ms);
+}
+
+TEST(TfmccReceiverUnit, EligibleReceiverSendsFeedbackWithinRound) {
+  ReceiverFixture f;
+  // Create loss so a finite calc rate exists, below the sending rate.
+  for (int i = 0; i < 20; ++i) {
+    f.deliver(f.data(i));
+    f.advance(10_ms);
+  }
+  f.deliver(f.data(30));
+  f.advance(10_ms);
+  // New round at a high advertised sending rate -> eligible -> timer.
+  f.round = 2;
+  auto h = f.data(31, 100000.0);
+  f.deliver(h);
+  f.advance(5_sec);  // let the timer fire
+  EXPECT_GE(f.receiver->feedback_sent(), 1);
+}
+
+TEST(TfmccReceiverUnit, NoLossAndNoSlowstartMeansNoFeedback) {
+  ReceiverFixture f;
+  for (int i = 0; i < 30; ++i) {
+    f.deliver(f.data(i));  // steady, lossless, not slowstart
+    f.advance(10_ms);
+  }
+  f.round = 2;
+  f.deliver(f.data(30));
+  f.advance(5_sec);
+  EXPECT_EQ(f.receiver->feedback_sent(), 0);
+}
+
+TEST(TfmccReceiverUnit, SuppressionByLowerEchoedRate) {
+  ReceiverFixture f;
+  for (int i = 0; i < 20; ++i) {
+    f.deliver(f.data(i));
+    f.advance(10_ms);
+  }
+  f.deliver(f.data(30));
+  f.advance(10_ms);
+  f.round = 2;
+  f.deliver(f.data(31, 100000.0));  // timer armed
+  // Another receiver's much lower rate is echoed: our report is redundant.
+  auto h = f.data(32, 100000.0);
+  h.supp_rate_Bps = 1.0;  // ~nothing
+  f.deliver(h);
+  f.advance(5_sec);
+  EXPECT_EQ(f.receiver->feedback_sent(), 0);
+}
+
+TEST(TfmccReceiverUnit, MuchLowerOwnRateIsNotSuppressed) {
+  ReceiverFixture f;
+  for (int i = 0; i < 20; ++i) {
+    f.deliver(f.data(i));
+    f.advance(10_ms);
+  }
+  f.deliver(f.data(30));
+  f.advance(10_ms);
+  f.round = 2;
+  auto h = f.data(31, 100000.0);
+  h.supp_rate_Bps = Bps_from_kbps(90000.0);  // echo far above our rate
+  f.deliver(h);
+  f.advance(5_sec);
+  EXPECT_GE(f.receiver->feedback_sent(), 1);
+}
+
+TEST(TfmccReceiverUnit, ClrReportsPeriodicallyWithoutSuppression) {
+  ReceiverFixture f;
+  auto h = f.data(0);
+  h.echo.receiver = 0;
+  h.echo.ts = f.sim.now() - 50_ms;
+  h.clr = 0;  // we are the CLR
+  f.deliver(h);
+  EXPECT_TRUE(f.receiver->is_clr());
+  f.advance(1_sec);
+  // ~1 report per RTT (50 ms): expect on the order of 20, certainly > 5.
+  EXPECT_GT(f.receiver->feedback_sent(), 5);
+}
+
+TEST(TfmccReceiverUnit, ClrDemotionStopsPeriodicReports) {
+  ReceiverFixture f;
+  auto h = f.data(0);
+  h.echo.receiver = 0;
+  h.echo.ts = f.sim.now() - 50_ms;
+  h.clr = 0;
+  f.deliver(h);
+  f.advance(500_ms);
+  auto h2 = f.data(1);
+  h2.clr = 3;  // someone else took over
+  f.deliver(h2);
+  EXPECT_FALSE(f.receiver->is_clr());
+  const auto sent = f.receiver->feedback_sent();
+  f.advance(2_sec);
+  EXPECT_EQ(f.receiver->feedback_sent(), sent);
+}
+
+TEST(TfmccReceiverUnit, LeaveSendsLeaveReportAndDetaches) {
+  ReceiverFixture f;
+  f.deliver(f.data(0));
+  f.receiver->leave();
+  EXPECT_FALSE(f.receiver->joined());
+  EXPECT_EQ(f.receiver->feedback_sent(), 1);  // the leave report
+  EXPECT_FALSE(f.session->is_member(f.star.leaves[0]));
+}
+
+}  // namespace
+}  // namespace tfmcc

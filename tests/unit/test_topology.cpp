@@ -1,0 +1,117 @@
+#include "net/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/builders.hpp"
+#include "sim/simulator.hpp"
+
+namespace tfmcc {
+namespace {
+
+using namespace tfmcc::time_literals;
+
+TEST(Topology, AddNodesAssignsSequentialIds) {
+  Simulator sim{1};
+  Topology topo{sim};
+  EXPECT_EQ(topo.add_node(), 0);
+  EXPECT_EQ(topo.add_node(), 1);
+  EXPECT_EQ(topo.add_nodes(3), 2);
+  EXPECT_EQ(topo.node_count(), 5);
+}
+
+TEST(Topology, RoutesPreferLowerDelay) {
+  Simulator sim{1};
+  Topology topo{sim};
+  const NodeId a = topo.add_node();
+  const NodeId b = topo.add_node();
+  const NodeId c = topo.add_node();
+  LinkConfig slow;
+  slow.delay = 100_ms;
+  LinkConfig fast;
+  fast.delay = 1_ms;
+  // Direct a->b is slow; a->c->b is fast.
+  topo.add_duplex_link(a, b, slow);
+  topo.add_duplex_link(a, c, fast);
+  topo.add_duplex_link(c, b, fast);
+  topo.compute_routes();
+  Link* next = topo.node(a).route(b);
+  ASSERT_NE(next, nullptr);
+  EXPECT_EQ(next->destination().id(), c);
+  EXPECT_EQ(topo.path_delay(a, b), 2_ms);
+}
+
+TEST(Topology, TieBreaksByHopCount) {
+  Simulator sim{1};
+  Topology topo{sim};
+  const NodeId a = topo.add_node();
+  const NodeId b = topo.add_node();
+  const NodeId c = topo.add_node();
+  LinkConfig two_ms;
+  two_ms.delay = 2_ms;
+  LinkConfig one_ms;
+  one_ms.delay = 1_ms;
+  topo.add_duplex_link(a, b, two_ms);       // direct: 2 ms, 1 hop
+  topo.add_duplex_link(a, c, one_ms);       // via c: 2 ms, 2 hops
+  topo.add_duplex_link(c, b, one_ms);
+  topo.compute_routes();
+  EXPECT_EQ(topo.node(a).route(b)->destination().id(), b);
+}
+
+TEST(Topology, PathDelayUnreachableIsInfinite) {
+  Simulator sim{1};
+  Topology topo{sim};
+  const NodeId a = topo.add_node();
+  const NodeId b = topo.add_node();
+  topo.compute_routes();
+  EXPECT_TRUE(topo.path_delay(a, b).is_infinite());
+}
+
+TEST(Topology, LinkBetweenFindsAdjacency) {
+  Simulator sim{1};
+  Topology topo{sim};
+  const NodeId a = topo.add_node();
+  const NodeId b = topo.add_node();
+  auto [ab, ba] = topo.add_duplex_link(a, b, LinkConfig{});
+  EXPECT_EQ(topo.link_between(a, b), ab);
+  EXPECT_EQ(topo.link_between(b, a), ba);
+  EXPECT_EQ(topo.link_between(a, a), nullptr);
+}
+
+TEST(Builders, DumbbellShape) {
+  Simulator sim{1};
+  Topology topo{sim};
+  LinkConfig bn;
+  bn.rate_bps = 8e6;
+  bn.delay = 20_ms;
+  LinkConfig acc;
+  acc.rate_bps = 100e6;
+  acc.delay = 2_ms;
+  const Dumbbell d = make_dumbbell(topo, 3, 4, bn, acc);
+  EXPECT_EQ(d.left_hosts.size(), 3u);
+  EXPECT_EQ(d.right_hosts.size(), 4u);
+  EXPECT_EQ(topo.node_count(), 2 + 3 + 4);
+  // All cross traffic passes the bottleneck: path delay = 2+20+2 ms.
+  EXPECT_EQ(topo.path_delay(d.left_hosts[0], d.right_hosts[0]), 24_ms);
+  ASSERT_NE(d.bottleneck_fwd, nullptr);
+  EXPECT_DOUBLE_EQ(d.bottleneck_fwd->config().rate_bps, 8e6);
+}
+
+TEST(Builders, StarShapeWithHeterogeneousLeaves) {
+  Simulator sim{1};
+  Topology topo{sim};
+  LinkConfig sender_link;
+  sender_link.delay = 5_ms;
+  std::vector<LinkConfig> leaves(3);
+  leaves[0].delay = 10_ms;
+  leaves[1].delay = 20_ms;
+  leaves[2].delay = 30_ms;
+  const Star s = make_star(topo, sender_link, leaves);
+  EXPECT_EQ(s.leaves.size(), 3u);
+  EXPECT_EQ(topo.path_delay(s.sender, s.leaves[0]), 15_ms);
+  EXPECT_EQ(topo.path_delay(s.sender, s.leaves[2]), 35_ms);
+  // Round trips are symmetric.
+  EXPECT_EQ(topo.path_delay(s.leaves[2], s.sender), 35_ms);
+}
+
+}  // namespace
+}  // namespace tfmcc
