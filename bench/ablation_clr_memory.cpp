@@ -20,8 +20,8 @@ struct Outcome {
   int clr_switches;
 };
 
-Outcome run(bool remember) {
-  Simulator sim{311};
+Outcome run(bool remember, std::uint64_t seed) {
+  Simulator sim{seed};
   Topology topo{sim};
   LinkConfig trunk;
   trunk.rate_bps = 1e9;
@@ -55,15 +55,17 @@ Outcome run(bool remember) {
 
 }  // namespace
 
-int main() {
+TFMCC_SCENARIO(ablation_clr_memory,
+               "Ablation: Appendix C previous-CLR memory") {
   using tfmcc::bench::check;
   using tfmcc::bench::figure_header;
   using tfmcc::bench::note;
 
   figure_header("Ablation", "Appendix C: storing the previous CLR");
 
-  const Outcome without = run(false);
-  const Outcome with = run(true);
+  const std::uint64_t seed = opts.seed_or(311);
+  const Outcome without = run(false, seed);
+  const Outcome with = run(true, seed);
 
   tfmcc::CsvWriter csv(std::cout,
                        {"variant", "mean_after_burst_kbps", "clr_switches"});

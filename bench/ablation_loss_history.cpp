@@ -19,8 +19,8 @@ using namespace tfmcc::time_literals;
 
 /// Time for the sender rate to fall below half its previous steady value
 /// after the receiver's path loss jumps from 0.5% to 8%.
-double adapt_seconds(int depth) {
-  Simulator sim{301};
+double adapt_seconds(int depth, std::uint64_t seed) {
+  Simulator sim{seed};
   Topology topo{sim};
   LinkConfig trunk;
   trunk.rate_bps = 1e9;
@@ -48,7 +48,8 @@ double adapt_seconds(int depth) {
 
 }  // namespace
 
-int main() {
+TFMCC_SCENARIO(ablation_loss_history,
+               "Ablation: loss-history depth, smoothness vs responsiveness") {
   using tfmcc::bench::check;
   using tfmcc::bench::figure_header;
   using tfmcc::bench::note;
@@ -56,10 +57,11 @@ int main() {
 
   figure_header("Ablation", "Loss-history depth: smoothness vs responsiveness");
 
+  const std::uint64_t seed = opts.seed_or(301);
   // (a) Scaling side.
   sc::ModelConfig mc;
   mc.trials = 150;
-  tfmcc::Rng rng{31};
+  tfmcc::Rng rng{seed + 30};
   tfmcc::CsvWriter csv(std::cout, {"metric", "depth", "value"});
   double rate_d2 = 0, rate_d32 = 0;
   for (int depth : {2, 8, 32}) {
@@ -72,8 +74,8 @@ int main() {
   }
 
   // (b) Responsiveness side.
-  const double t8 = adapt_seconds(8);
-  const double t32 = adapt_seconds(32);
+  const double t8 = adapt_seconds(8, seed);
+  const double t32 = adapt_seconds(32, seed);
   csv.row("adapt_to_4x_loss_seconds", 8, t8);
   csv.row("adapt_to_4x_loss_seconds", 32, t32);
 

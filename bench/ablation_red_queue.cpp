@@ -3,6 +3,7 @@
 // (e.g. RED) is used instead" of drop-tail.  One TFMCC flow and 4 TCP
 // flows on a shared bottleneck, drop-tail vs RED.
 
+#include <algorithm>
 #include <cmath>
 #include <iostream>
 
@@ -15,8 +16,8 @@ using namespace tfmcc;
 using namespace tfmcc::time_literals;
 
 /// |log(tfmcc/tcp)| fairness distance (0 = perfectly fair).
-double fairness_distance(bool use_red) {
-  Simulator sim{321};
+double fairness_distance(bool use_red, std::uint64_t seed, SimTime horizon) {
+  Simulator sim{seed};
   Topology topo{sim};
   LinkConfig bn;
   bn.jitter = bench::kPhaseJitter;
@@ -37,25 +38,29 @@ double fairness_distance(bool use_red) {
     tcp.back()->start(SimTime::millis(41 * i));
   }
   flow.sender().start(SimTime::zero());
-  sim.run_until(180_sec);
+  sim.run_until(horizon);
+  const SimTime warm = bench::warmup(60_sec, horizon);
   double tcp_kbps = 0;
-  for (const auto& t : tcp) tcp_kbps += t->mean_kbps(60_sec, 180_sec);
+  for (const auto& t : tcp) tcp_kbps += t->mean_kbps(warm, horizon);
   tcp_kbps /= 4.0;
-  const double tfmcc_kbps = flow.goodput(0).mean_kbps(60_sec, 180_sec);
+  const double tfmcc_kbps = flow.goodput(0).mean_kbps(warm, horizon);
   return std::fabs(std::log(std::max(tfmcc_kbps, 1.0) / std::max(tcp_kbps, 1.0)));
 }
 
 }  // namespace
 
-int main() {
+TFMCC_SCENARIO(ablation_red_queue,
+               "Ablation: drop-tail vs RED at the bottleneck") {
   using tfmcc::bench::check;
   using tfmcc::bench::figure_header;
   using tfmcc::bench::note;
 
   figure_header("Ablation", "Drop-tail vs RED at the bottleneck");
 
-  const double droptail = fairness_distance(false);
-  const double red = fairness_distance(true);
+  const tfmcc::SimTime horizon = opts.duration_or(180_sec);
+  const std::uint64_t seed = opts.seed_or(321);
+  const double droptail = fairness_distance(false, seed, horizon);
+  const double red = fairness_distance(true, seed, horizon);
 
   tfmcc::CsvWriter csv(std::cout, {"queue", "abs_log_fairness_ratio"});
   csv.row("droptail", droptail);

@@ -6,9 +6,16 @@
 //   2. a CSV trace with the same series the paper plots,
 //   3. a "CHECK" summary comparing the measured shape against the paper's
 //      qualitative claim (recorded in EXPERIMENTS.md).
+//
+// Benches define their entry point with TFMCC_SCENARIO (sim/scenario.hpp):
+// the same translation unit builds both as a standalone binary and as one
+// of the scenarios linked into the unified `tfmcc_sim` driver.
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
+
+#include "sim/scenario.hpp"
 
 namespace tfmcc::bench {
 
@@ -23,6 +30,12 @@ inline bool check(bool ok, const std::string& what) {
 
 inline void note(const std::string& what) {
   std::printf("NOTE: %s\n", what.c_str());
+}
+
+/// Warm-up cutoff for steady-state measurement windows: the paper's cutoff,
+/// clamped to half the horizon so shortened --duration runs still measure.
+inline SimTime warmup(SimTime cap, SimTime horizon) {
+  return std::min(cap, horizon / 2.0);
 }
 
 }  // namespace tfmcc::bench

@@ -22,7 +22,7 @@ struct Run {
   double cov;
 };
 
-Run run_tfmcc(std::uint64_t seed) {
+Run run_tfmcc(std::uint64_t seed, SimTime horizon) {
   Simulator sim{seed};
   Topology topo{sim};
   LinkConfig bn;
@@ -37,12 +37,13 @@ Run run_tfmcc(std::uint64_t seed) {
   TfmccFlow flow{sim, topo, d.left_hosts[0]};
   for (int i = 0; i < 4; ++i) flow.add_joined_receiver(d.right_hosts[static_cast<size_t>(i)]);
   flow.sender().start(SimTime::zero());
-  sim.run_until(300_sec);
-  return {flow.goodput(0).mean_kbps(60_sec, 300_sec),
-          bench::trace_cov(flow.goodput(0), 60_sec, 300_sec)};
+  sim.run_until(horizon);
+  const SimTime warm = bench::warmup(60_sec, horizon);
+  return {flow.goodput(0).mean_kbps(warm, horizon),
+          bench::trace_cov(flow.goodput(0), warm, horizon)};
 }
 
-Run run_pgmcc(std::uint64_t seed) {
+Run run_pgmcc(std::uint64_t seed, SimTime horizon) {
   Simulator sim{seed};
   Topology topo{sim};
   LinkConfig bn;
@@ -67,22 +68,26 @@ Run run_pgmcc(std::uint64_t seed) {
   receivers[0]->set_delivery_observer(
       [&goodput](SimTime t, std::int32_t bytes) { goodput.add(t, bytes); });
   sender.start(SimTime::zero());
-  sim.run_until(300_sec);
-  return {goodput.mean_kbps(60_sec, 300_sec),
-          bench::trace_cov(goodput, 60_sec, 300_sec)};
+  sim.run_until(horizon);
+  const SimTime warm = bench::warmup(60_sec, horizon);
+  return {goodput.mean_kbps(warm, horizon),
+          bench::trace_cov(goodput, warm, horizon)};
 }
 
 }  // namespace
 
-int main() {
+TFMCC_SCENARIO(comparison_pgmcc,
+               "Section 5 comparison: TFMCC vs PGMCC on one bottleneck") {
   using tfmcc::bench::check;
   using tfmcc::bench::figure_header;
   using tfmcc::bench::note;
 
   figure_header("Comparison (§5)", "TFMCC vs PGMCC on a 2 Mbit/s bottleneck");
 
-  const Run tfmcc_run = run_tfmcc(501);
-  const Run pgmcc_run = run_pgmcc(501);
+  const tfmcc::SimTime horizon = opts.duration_or(300_sec);
+  const std::uint64_t seed = opts.seed_or(501);
+  const Run tfmcc_run = run_tfmcc(seed, horizon);
+  const Run pgmcc_run = run_pgmcc(seed, horizon);
 
   tfmcc::CsvWriter csv(std::cout, {"protocol", "mean_kbps", "cov"});
   csv.row("TFMCC", tfmcc_run.mean_kbps, tfmcc_run.cov);

@@ -13,7 +13,8 @@
 #include "tfmcc/feedback_timer.hpp"
 #include "util/csv.hpp"
 
-int main() {
+TFMCC_SCENARIO(fig01_bias_cdf,
+               "Figure 1: CDF of feedback times for the biasing methods") {
   using namespace tfmcc;
   namespace ft = feedback_timer;
 

@@ -15,14 +15,16 @@
 #include "bench_util.hpp"
 #include "util/csv.hpp"
 
-int main() {
+TFMCC_SCENARIO(fig02_time_value,
+               "Figure 2: time-value distribution of one feedback round") {
   using namespace tfmcc;
   namespace fr = feedback_round;
 
   bench::figure_header("Figure 2", "Time-value distribution of one round");
 
   const int kReceivers = 10000;
-  Rng rng{42};
+  const std::uint64_t seed = opts.seed_or(42);
+  Rng rng{seed};
   const auto values = fr::uniform_values(kReceivers, 0.0, 1.0, rng);
 
   fr::RoundConfig normal;
@@ -31,7 +33,7 @@ int main() {
   fr::RoundConfig offset = normal;
   offset.timer.method = BiasMethod::kOffset;
 
-  Rng r1{43}, r2{44};
+  Rng r1{seed + 1}, r2{seed + 2};
   const auto res_normal = fr::simulate(values, normal, r1, true);
   const auto res_offset = fr::simulate(values, offset, r2, true);
 

@@ -15,14 +15,15 @@
 #include "util/csv.hpp"
 #include "util/stats.hpp"
 
-int main() {
+TFMCC_SCENARIO(fig03_cancellation,
+               "Figure 3: feedback cancellation policies vs receiver count") {
   using namespace tfmcc;
   namespace fr = feedback_round;
 
   bench::figure_header("Figure 3", "Different feedback cancellation methods");
 
   const int kTrials = 25;
-  Rng root{7};
+  Rng root{opts.seed_or(7)};
 
   CsvWriter csv(std::cout,
                 {"n", "all_suppressed_d1", "ten_pct_d01", "higher_suppressed_d0"});

@@ -12,7 +12,8 @@
 #include "bench_util.hpp"
 #include "util/csv.hpp"
 
-int main() {
+TFMCC_SCENARIO(fig04_expected_feedback,
+               "Figure 4: expected feedback messages vs window and n") {
   using namespace tfmcc;
 
   bench::figure_header("Figure 4", "Expected number of feedback messages");

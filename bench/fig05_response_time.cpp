@@ -12,14 +12,15 @@
 #include "bench_util.hpp"
 #include "util/csv.hpp"
 
-int main() {
+TFMCC_SCENARIO(fig05_response_time,
+               "Figure 5: feedback response time vs receiver count") {
   using namespace tfmcc;
   namespace fr = feedback_round;
 
   bench::figure_header("Figure 5", "Feedback delay of the biasing methods");
 
   const int kTrials = 60;
-  Rng root{11};
+  Rng root{opts.seed_or(11)};
   const BiasMethod methods[3] = {BiasMethod::kUnbiased, BiasMethod::kOffset,
                                  BiasMethod::kModifiedOffset};
 

@@ -12,14 +12,15 @@
 #include "bench_util.hpp"
 #include "util/csv.hpp"
 
-int main() {
+TFMCC_SCENARIO(fig06_report_quality,
+               "Figure 6: quality of the reported rate vs receiver count") {
   using namespace tfmcc;
   namespace fr = feedback_round;
 
   bench::figure_header("Figure 6", "Quality of the reported rate");
 
   const int kTrials = 120;
-  Rng root{13};
+  Rng root{opts.seed_or(13)};
   const BiasMethod methods[3] = {BiasMethod::kUnbiased, BiasMethod::kOffset,
                                  BiasMethod::kModifiedOffset};
 

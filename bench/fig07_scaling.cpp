@@ -17,7 +17,8 @@
 #include "util/csv.hpp"
 #include "util/stats.hpp"
 
-int main() {
+TFMCC_SCENARIO(fig07_scaling,
+               "Figure 7: TFMCC throughput scaling under independent loss") {
   using namespace tfmcc;
   namespace sc = scaling;
 
@@ -25,7 +26,7 @@ int main() {
 
   sc::ModelConfig cfg;
   cfg.trials = 150;
-  Rng rng{17};
+  Rng rng{opts.seed_or(17)};
 
   const double fair_const_kbps =
       kbps_from_Bps(sc::fair_rate_Bps(sc::constant_losses(1, 0.1), cfg));

@@ -9,27 +9,32 @@
 
 #include "scenario_util.hpp"
 
-int main() {
+TFMCC_SCENARIO(fig09_single_bottleneck,
+               "Figure 9: 1 TFMCC + 15 TCP over one 8 Mbit/s bottleneck") {
   using namespace tfmcc;
   using namespace tfmcc::time_literals;
 
   bench::figure_header("Figure 9",
                        "1 TFMCC + 15 TCP over a single 8 Mbit/s bottleneck");
 
-  bench::SharedBottleneck s{8e6, 18_ms, /*n_receivers=*/4, /*n_tcp=*/15, 91};
+  const SimTime T = opts.duration_or(200_sec);
+  const SimTime warmup = bench::warmup(60_sec, T);
+
+  bench::SharedBottleneck s{8e6, 18_ms, /*n_receivers=*/4, /*n_tcp=*/15,
+                            opts.seed_or(91)};
   s.start_all();
-  s.sim.run_until(200_sec);
+  s.sim.run_until(T);
 
   CsvWriter csv(std::cout, {"flow", "time_s", "kbps"});
-  bench::emit_series(csv, "TFMCC", s.tfmcc->goodput(0), 60_sec, 200_sec);
-  bench::emit_series(csv, "TCP 1", s.tcp[0]->goodput, 60_sec, 200_sec);
-  bench::emit_series(csv, "TCP 2", s.tcp[1]->goodput, 60_sec, 200_sec);
+  bench::emit_series(csv, "TFMCC", s.tfmcc->goodput(0), warmup, T);
+  bench::emit_series(csv, "TCP 1", s.tcp[0]->goodput, warmup, T);
+  bench::emit_series(csv, "TCP 2", s.tcp[1]->goodput, warmup, T);
 
-  const double tfmcc_kbps = s.tfmcc->goodput(0).mean_kbps(60_sec, 200_sec);
-  const double tcp_kbps = s.tcp_mean_kbps(60_sec, 200_sec);
-  const double cov_tfmcc = bench::trace_cov(s.tfmcc->goodput(0), 60_sec, 200_sec);
+  const double tfmcc_kbps = s.tfmcc->goodput(0).mean_kbps(warmup, T);
+  const double tcp_kbps = s.tcp_mean_kbps(warmup, T);
+  const double cov_tfmcc = bench::trace_cov(s.tfmcc->goodput(0), warmup, T);
   double cov_tcp = 0;
-  for (const auto& t : s.tcp) cov_tcp += bench::trace_cov(t->goodput, 60_sec, 200_sec);
+  for (const auto& t : s.tcp) cov_tcp += bench::trace_cov(t->goodput, warmup, T);
   cov_tcp /= static_cast<double>(s.tcp.size());
 
   bench::note("TFMCC " + std::to_string(tfmcc_kbps) + " kbit/s vs TCP avg " +

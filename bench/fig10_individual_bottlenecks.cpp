@@ -8,15 +8,18 @@
 
 #include "scenario_util.hpp"
 
-int main() {
+TFMCC_SCENARIO(fig10_individual_bottlenecks,
+               "Figure 10: TFMCC vs TCP on individual 1 Mbit/s tails") {
   using namespace tfmcc;
   using namespace tfmcc::time_literals;
 
   bench::figure_header("Figure 10",
                        "1 TFMCC vs 16 TCP flows on individual 1 Mbit/s tails");
 
+  const SimTime T = opts.duration_or(200_sec);
+  const SimTime warmup = bench::warmup(60_sec, T);
   const int kTails = 16;
-  Simulator sim{101};
+  Simulator sim{opts.seed_or(101)};
   Topology topo{sim};
 
   // Left side: the TFMCC source and 16 TCP sources behind a fat trunk.
@@ -51,16 +54,16 @@ int main() {
   }
   tfmcc.sender().start(SimTime::zero());
   for (int i = 0; i < kTails; ++i) tcp[static_cast<size_t>(i)]->start(SimTime::millis(41 * i));
-  sim.run_until(200_sec);
+  sim.run_until(T);
 
   CsvWriter csv(std::cout, {"flow", "time_s", "kbps"});
-  bench::emit_series(csv, "TFMCC", tfmcc.goodput(0), 60_sec, 200_sec);
-  bench::emit_series(csv, "TCP 1", tcp[0]->goodput, 60_sec, 200_sec);
-  bench::emit_series(csv, "TCP 2", tcp[1]->goodput, 60_sec, 200_sec);
+  bench::emit_series(csv, "TFMCC", tfmcc.goodput(0), warmup, T);
+  bench::emit_series(csv, "TCP 1", tcp[0]->goodput, warmup, T);
+  bench::emit_series(csv, "TCP 2", tcp[1]->goodput, warmup, T);
 
-  const double tfmcc_kbps = tfmcc.goodput(0).mean_kbps(60_sec, 200_sec);
+  const double tfmcc_kbps = tfmcc.goodput(0).mean_kbps(warmup, T);
   double tcp_kbps = 0;
-  for (const auto& t : tcp) tcp_kbps += t->mean_kbps(60_sec, 200_sec);
+  for (const auto& t : tcp) tcp_kbps += t->mean_kbps(warmup, T);
   tcp_kbps /= kTails;
 
   const double ratio = tfmcc_kbps / tcp_kbps;

@@ -12,14 +12,18 @@
 
 #include "scenario_util.hpp"
 
-int main() {
+TFMCC_SCENARIO(fig11_loss_responsiveness,
+               "Figure 11: responsiveness to changes in the loss rate") {
   using namespace tfmcc;
   using namespace tfmcc::time_literals;
 
   bench::figure_header("Figure 11", "Responsiveness to changes in loss rate");
 
+  // The join/leave schedule is scripted at fixed times; --duration only
+  // shortens the horizon (events past it simply never fire).
+  const SimTime T = opts.duration_or(400_sec);
   const double kLoss[4] = {0.001, 0.005, 0.025, 0.125};
-  Simulator sim{111};
+  Simulator sim{opts.seed_or(111)};
   Topology topo{sim};
 
   LinkConfig trunk;
@@ -63,13 +67,13 @@ int main() {
     sim.at(SimTime::seconds(250.0 + 50.0 * (3 - i)),
            [&tfmcc, i] { tfmcc.receiver(i).leave(); });
   }
-  sim.run_until(400_sec);
+  sim.run_until(T);
 
   CsvWriter csv(std::cout, {"flow", "time_s", "kbps"});
-  bench::emit_series(csv, "TFMCC", tfmcc.goodput(0), 0_sec, 400_sec);
+  bench::emit_series(csv, "TFMCC", tfmcc.goodput(0), 0_sec, T);
   for (int i = 0; i < 4; ++i) {
     bench::emit_series(csv, "TCP " + std::to_string(i + 1),
-                       tcp[static_cast<size_t>(i)]->goodput, 0_sec, 400_sec);
+                       tcp[static_cast<size_t>(i)]->goodput, 0_sec, T);
   }
 
   // Epoch means: receiver k joined during [100+50(k-1), 100+50k).

@@ -12,14 +12,17 @@
 
 #include "scenario_util.hpp"
 
-int main() {
+TFMCC_SCENARIO(fig12_rtt_acquisition,
+               "Figure 12: rate of initial RTT measurements, 1000 receivers") {
   using namespace tfmcc;
   using namespace tfmcc::time_literals;
 
   bench::figure_header("Figure 12", "Rate of initial RTT measurements");
 
+  const int horizon_s =
+      static_cast<int>(opts.duration_or(200_sec).to_seconds());
   const int kReceivers = 1000;
-  Simulator sim{121};
+  Simulator sim{opts.seed_or(121)};
   Topology topo{sim};
 
   LinkConfig bn;
@@ -36,7 +39,7 @@ int main() {
   const NodeId right = topo.add_node();
   topo.add_duplex_link(src, left, acc);
   topo.add_duplex_link(left, right, bn);
-  Rng delay_rng{1212};
+  Rng delay_rng{opts.seed_or(121) * 10 + 2};
   std::vector<NodeId> hosts(kReceivers);
   for (int i = 0; i < kReceivers; ++i) {
     hosts[static_cast<size_t>(i)] = topo.add_node();
@@ -52,15 +55,21 @@ int main() {
   flow.sender().start(SimTime::zero());
 
   CsvWriter csv(std::cout, {"time_s", "receivers_with_valid_rtt"});
-  int at_20 = 0, at_100 = 0, at_200 = 0;
-  for (int t = 0; t <= 200; t += 5) {
+  std::vector<int> samples;
+  for (int t = 0; t <= horizon_s; t += 5) {
     sim.run_until(SimTime::seconds(static_cast<double>(t)));
     const int acquired = flow.receivers_with_rtt();
     csv.row(t, acquired);
-    if (t == 20) at_20 = acquired;
-    if (t == 100) at_100 = acquired;
-    if (t == 200) at_200 = acquired;
+    samples.push_back(acquired);
   }
+
+  // Checkpoints at 10% / 50% / 100% of the horizon (20/100/200 s at the
+  // paper's 200 s default), so shortened --duration runs check the same
+  // acquisition shape instead of reading zeros at fixed times.
+  const int at_early = samples[samples.size() / 10];
+  const int at_mid = samples[samples.size() / 2];
+  const int at_end = samples.back();
+  const int early_s = 5 * static_cast<int>(samples.size() / 10);
 
   const double rounds = std::max(1.0, static_cast<double>(flow.sender().round()));
   bench::note("rounds: " + std::to_string(flow.sender().round()) +
@@ -68,15 +77,18 @@ int main() {
               std::to_string(flow.sender().feedback_received()) +
               " (avg " +
               std::to_string(flow.sender().feedback_received() / rounds) +
-              "/round); acquired @20s=" + std::to_string(at_20) + " @100s=" +
-              std::to_string(at_100) + " @200s=" + std::to_string(at_200));
-  bench::check(at_20 > 0, "acquisition starts in the first rounds");
-  bench::check(at_100 > at_20 && at_200 >= at_100,
+              "/round); acquired @" + std::to_string(early_s) + "s=" +
+              std::to_string(at_early) + " @" +
+              std::to_string(5 * static_cast<int>(samples.size() / 2)) + "s=" +
+              std::to_string(at_mid) + " @" + std::to_string(horizon_s) +
+              "s=" + std::to_string(at_end));
+  bench::check(at_early > 0, "acquisition starts in the first rounds");
+  bench::check(at_mid > at_early && at_end >= at_mid,
                "acquisition continues steadily (>= 1 per round)");
-  bench::check(at_20 < kReceivers / 4,
+  bench::check(at_early < kReceivers / 4,
                "correlated loss keeps early acquisition gradual: bounded by "
                "the per-round feedback count, not instant");
-  const double early_rate = at_20 / std::max(1.0, rounds * 20.0 / 200.0);
+  const double early_rate = at_early / std::max(1.0, rounds * 0.1);
   bench::note("early acquisition per round ~ " + std::to_string(early_rate));
   return 0;
 }

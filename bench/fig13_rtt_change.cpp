@@ -57,25 +57,27 @@ double measure_reaction(int n_receivers, double change_at_s,
 
 }  // namespace
 
-int main() {
+TFMCC_SCENARIO(fig13_rtt_change,
+               "Figure 13: responsiveness to changes in the RTT") {
   using tfmcc::bench::check;
   using tfmcc::bench::figure_header;
   using tfmcc::bench::note;
 
   figure_header("Figure 13", "Responsiveness to changes in the RTT");
 
+  const std::uint64_t seed = opts.seed_or(131);
   tfmcc::CsvWriter csv(std::cout, {"n", "time_of_change_s", "reaction_delay_s"});
   double d40_early = -1, d40_late = -1, d200_early = -1, d1000 = -1;
   for (const double t : {0.0, 10.0, 20.0, 40.0, 80.0}) {
-    const double d40 = measure_reaction(40, t, 131);
+    const double d40 = measure_reaction(40, t, seed);
     csv.row(40, t, d40);
     if (t == 0.0) d40_early = d40;
     if (t == 80.0) d40_late = d40;
-    const double d200 = measure_reaction(200, t, 132);
+    const double d200 = measure_reaction(200, t, seed + 1);
     csv.row(200, t, d200);
     if (t == 0.0) d200_early = d200;
   }
-  d1000 = measure_reaction(1000, 40.0, 133);
+  d1000 = measure_reaction(1000, 40.0, seed + 2);
   csv.row(1000, 40.0, d1000);
 
   check(d40_early > 0 && d200_early > 0 && d1000 > 0,

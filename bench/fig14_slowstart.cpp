@@ -18,26 +18,29 @@ using namespace tfmcc;
 using namespace tfmcc::time_literals;
 
 double peak_slowstart_kbps(double bottleneck_bps, int n_receivers, int n_tcp,
-                           std::uint64_t seed) {
+                           std::uint64_t seed, SimTime horizon) {
   bench::SharedBottleneck s{bottleneck_bps, 18_ms, n_receivers, n_tcp, seed};
   // TCP flows first so the link is in steady state when TFMCC probes.
   for (std::size_t i = 0; i < s.tcp.size(); ++i) {
     s.tcp[i]->start(SimTime::millis(41 * static_cast<std::int64_t>(i)));
   }
   s.tfmcc->sender().start(n_tcp > 0 ? 15_sec : SimTime::zero());
-  s.sim.run_until(60_sec);
+  s.sim.run_until(horizon);
   return kbps_from_Bps(s.tfmcc->sender().peak_slowstart_rate_Bps());
 }
 
 }  // namespace
 
-int main() {
+TFMCC_SCENARIO(fig14_slowstart,
+               "Figure 14: maximum slowstart rate vs receiver-set size") {
   using tfmcc::bench::check;
   using tfmcc::bench::figure_header;
   using tfmcc::bench::note;
 
   figure_header("Figure 14", "Maximum slowstart rate");
 
+  const tfmcc::SimTime horizon = opts.duration_or(60_sec);
+  const std::uint64_t seed = opts.seed_or(141);
   tfmcc::CsvWriter csv(std::cout,
                        {"n_receivers", "only_tfmcc_kbps", "one_tcp_kbps",
                         "high_statmux_kbps", "fair_rate_kbps"});
@@ -45,9 +48,9 @@ int main() {
   for (int n : {2, 8, 32, 128, 512}) {
     // (a) alone on a 1 Mbit/s link; (b) with 1 TCP on 2 Mbit/s;
     // (c) with 8 TCPs on 9 Mbit/s — fair share 1 Mbit/s in each.
-    const double alone = peak_slowstart_kbps(1e6, n, 0, 141);
-    const double one = peak_slowstart_kbps(2e6, n, 1, 142);
-    const double mux = peak_slowstart_kbps(9e6, n, 8, 143);
+    const double alone = peak_slowstart_kbps(1e6, n, 0, seed, horizon);
+    const double one = peak_slowstart_kbps(2e6, n, 1, seed + 1, horizon);
+    const double mux = peak_slowstart_kbps(9e6, n, 8, seed + 2, horizon);
     csv.row(n, alone, one, mux, 1000.0);
     if (n == 2) {
       alone_2 = alone;

@@ -12,13 +12,17 @@
 
 #include "scenario_util.hpp"
 
-int main() {
+TFMCC_SCENARIO(fig15_late_join,
+               "Figure 15: late join of a low-rate receiver") {
   using namespace tfmcc;
   using namespace tfmcc::time_literals;
 
   bench::figure_header("Figure 15", "Late join of a low-rate receiver");
 
-  bench::SharedBottleneck s{8e6, 18_ms, /*n_receivers=*/8, /*n_tcp=*/7, 151};
+  // Join/leave are scripted at 50 s / 100 s; --duration only moves the end.
+  const SimTime T = opts.duration_or(140_sec);
+  bench::SharedBottleneck s{8e6, 18_ms, /*n_receivers=*/8, /*n_tcp=*/7,
+                            opts.seed_or(151)};
   // Slow tail hanging off the right router.
   LinkConfig slow;
   slow.rate_bps = 200e3;
@@ -32,10 +36,10 @@ int main() {
   s.start_all();
   s.sim.at(50_sec, [&] { s.tfmcc->receiver(late).join(); });
   s.sim.at(100_sec, [&] { s.tfmcc->receiver(late).leave(); });
-  s.sim.run_until(140_sec);
+  s.sim.run_until(T);
 
   CsvWriter csv(std::cout, {"flow", "time_s", "kbps"});
-  bench::emit_series(csv, "TFMCC", s.tfmcc->goodput(0), 0_sec, 140_sec);
+  bench::emit_series(csv, "TFMCC", s.tfmcc->goodput(0), 0_sec, T);
   // Aggregate TCP trace.
   ThroughputBinner agg{1_sec};
   for (const auto& t : s.tcp) {
@@ -43,7 +47,7 @@ int main() {
       agg.add(p.t, static_cast<std::int64_t>(p.v * 125.0));  // kbit -> bytes/s bin
     }
   }
-  bench::emit_series(csv, "aggregated TCP", agg, 0_sec, 140_sec);
+  bench::emit_series(csv, "aggregated TCP", agg, 0_sec, T);
 
   const double before = s.tfmcc->goodput(0).mean_kbps(30_sec, 50_sec);
   const double during = s.tfmcc->goodput(0).mean_kbps(60_sec, 100_sec);

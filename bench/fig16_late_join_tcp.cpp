@@ -9,13 +9,16 @@
 
 #include "scenario_util.hpp"
 
-int main() {
+TFMCC_SCENARIO(fig16_late_join_tcp,
+               "Figure 16: late join with a competing TCP on the slow link") {
   using namespace tfmcc;
   using namespace tfmcc::time_literals;
 
   bench::figure_header("Figure 16", "Additional TCP flow on the slow link");
 
-  bench::SharedBottleneck s{8e6, 18_ms, /*n_receivers=*/8, /*n_tcp=*/7, 161};
+  const SimTime T = opts.duration_or(140_sec);
+  bench::SharedBottleneck s{8e6, 18_ms, /*n_receivers=*/8, /*n_tcp=*/7,
+                            opts.seed_or(161)};
   LinkConfig slow;
   slow.rate_bps = 200e3;
   slow.delay = 10_ms;
@@ -32,12 +35,11 @@ int main() {
   slow_tcp.start(1_sec);
   s.sim.at(50_sec, [&] { s.tfmcc->receiver(late).join(); });
   s.sim.at(100_sec, [&] { s.tfmcc->receiver(late).leave(); });
-  s.sim.run_until(140_sec);
+  s.sim.run_until(T);
 
   CsvWriter csv(std::cout, {"flow", "time_s", "kbps"});
-  bench::emit_series(csv, "TFMCC", s.tfmcc->goodput(0), 0_sec, 140_sec);
-  bench::emit_series(csv, "TCP on 200kbit link", slow_tcp.goodput, 0_sec,
-                     140_sec);
+  bench::emit_series(csv, "TFMCC", s.tfmcc->goodput(0), 0_sec, T);
+  bench::emit_series(csv, "TCP on 200kbit link", slow_tcp.goodput, 0_sec, T);
 
   const double tcp_before = slow_tcp.mean_kbps(20_sec, 50_sec);
   const double tcp_during = slow_tcp.mean_kbps(65_sec, 100_sec);

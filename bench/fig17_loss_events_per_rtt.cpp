@@ -10,7 +10,8 @@
 #include "tfrc/equation.hpp"
 #include "util/csv.hpp"
 
-int main() {
+TFMCC_SCENARIO(fig17_loss_events_per_rtt,
+               "Figure 17: loss events per RTT vs loss event rate") {
   using namespace tfmcc;
 
   bench::figure_header("Figure 17", "Loss events per RTT");

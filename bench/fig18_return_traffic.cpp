@@ -21,8 +21,8 @@ struct Result {
   std::vector<double> tcp_kbps;
 };
 
-Result run(bool with_return_traffic) {
-  bench::SharedBottleneck s{5e6, 18_ms, /*n_receivers=*/4, /*n_tcp=*/4, 181};
+Result run(bool with_return_traffic, std::uint64_t seed, SimTime horizon) {
+  bench::SharedBottleneck s{5e6, 18_ms, /*n_receivers=*/4, /*n_tcp=*/4, seed};
   // Return flows: right-to-left bulk TCP sharing the reverse bottleneck
   // with the ACK/feedback streams; 0/1/2/4 flows rooted at the four
   // receivers' hosts.
@@ -40,25 +40,29 @@ Result run(bool with_return_traffic) {
     }
   }
   s.start_all();
-  s.sim.run_until(120_sec);
+  s.sim.run_until(horizon);
+  const SimTime warm = bench::warmup(30_sec, horizon);
   Result res;
-  res.tfmcc_kbps = s.tfmcc->goodput(0).mean_kbps(30_sec, 120_sec);
+  res.tfmcc_kbps = s.tfmcc->goodput(0).mean_kbps(warm, horizon);
   for (const auto& t : s.tcp) {
-    res.tcp_kbps.push_back(t->mean_kbps(30_sec, 120_sec));
+    res.tcp_kbps.push_back(t->mean_kbps(warm, horizon));
   }
   return res;
 }
 
 }  // namespace
 
-int main() {
+TFMCC_SCENARIO(fig18_return_traffic,
+               "Figure 18: competing bulk TCP on the feedback return paths") {
   using namespace tfmcc;
   using namespace tfmcc::time_literals;
 
   bench::figure_header("Figure 18", "Competing traffic on return paths");
 
-  const Result base = run(false);
-  const Result loaded = run(true);
+  const SimTime horizon = opts.duration_or(120_sec);
+  const std::uint64_t seed = opts.seed_or(181);
+  const Result base = run(false, seed, horizon);
+  const Result loaded = run(true, seed, horizon);
 
   CsvWriter csv(std::cout, {"flow", "no_return_kbps", "with_return_kbps"});
   csv.row("TFMCC", base.tfmcc_kbps, loaded.tfmcc_kbps);

@@ -10,14 +10,17 @@
 
 #include "scenario_util.hpp"
 
-int main() {
+TFMCC_SCENARIO(fig19_lossy_return,
+               "Figure 19: lossy receiver-report return paths") {
   using namespace tfmcc;
   using namespace tfmcc::time_literals;
 
   bench::figure_header("Figure 19", "Lossy return paths");
 
+  const SimTime T = opts.duration_or(120_sec);
+  const SimTime warm = bench::warmup(30_sec, T);
   const double kReturnLoss[4] = {0.0, 0.1, 0.2, 0.3};
-  Simulator sim{191};
+  Simulator sim{opts.seed_or(191)};
   Topology topo{sim};
   LinkConfig trunk;
   trunk.jitter = bench::kPhaseJitter;
@@ -50,19 +53,19 @@ int main() {
     tcp.back()->start(SimTime::millis(41 * i));
   }
   tfmcc.sender().start(SimTime::zero());
-  sim.run_until(120_sec);
+  sim.run_until(T);
 
   CsvWriter csv(std::cout, {"flow", "time_s", "kbps"});
-  bench::emit_series(csv, "TFMCC", tfmcc.goodput(0), 0_sec, 120_sec);
+  bench::emit_series(csv, "TFMCC", tfmcc.goodput(0), 0_sec, T);
   for (int i = 0; i < 4; ++i) {
     bench::emit_series(
         csv, "TCP (" + std::to_string(static_cast<int>(kReturnLoss[static_cast<size_t>(i)] * 100)) + "% loss)",
-        tcp[static_cast<size_t>(i)]->goodput, 0_sec, 120_sec);
+        tcp[static_cast<size_t>(i)]->goodput, 0_sec, T);
   }
 
-  const double tfmcc_kbps = tfmcc.goodput(0).mean_kbps(30_sec, 120_sec);
-  const double tcp0 = tcp[0]->mean_kbps(30_sec, 120_sec);
-  const double tcp30 = tcp[3]->mean_kbps(30_sec, 120_sec);
+  const double tfmcc_kbps = tfmcc.goodput(0).mean_kbps(warm, T);
+  const double tcp0 = tcp[0]->mean_kbps(warm, T);
+  const double tcp30 = tcp[3]->mean_kbps(warm, T);
 
   bench::note("TFMCC " + std::to_string(tfmcc_kbps) + " kbit/s; TCP 0% " +
               std::to_string(tcp0) + ", TCP 30% " + std::to_string(tcp30));

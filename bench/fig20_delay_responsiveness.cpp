@@ -11,14 +11,16 @@
 
 #include "scenario_util.hpp"
 
-int main() {
+TFMCC_SCENARIO(fig20_delay_responsiveness,
+               "Figure 20: responsiveness to per-receiver network delay") {
   using namespace tfmcc;
   using namespace tfmcc::time_literals;
 
   bench::figure_header("Figure 20", "Responsiveness to network delay");
 
+  const SimTime T = opts.duration_or(400_sec);
   const std::int64_t kDelayMs[4] = {15, 30, 60, 120};  // one-way, 2 hops each
-  Simulator sim{201};
+  Simulator sim{opts.seed_or(201)};
   Topology topo{sim};
   LinkConfig trunk;
   trunk.jitter = bench::kPhaseJitter;
@@ -56,13 +58,13 @@ int main() {
     sim.at(SimTime::seconds(250.0 + 50.0 * (3 - i)),
            [&tfmcc, i] { tfmcc.receiver(i).leave(); });
   }
-  sim.run_until(400_sec);
+  sim.run_until(T);
 
   CsvWriter csv(std::cout, {"flow", "time_s", "kbps"});
-  bench::emit_series(csv, "TFMCC", tfmcc.goodput(0), 0_sec, 400_sec);
+  bench::emit_series(csv, "TFMCC", tfmcc.goodput(0), 0_sec, T);
   for (int i = 0; i < 4; ++i) {
     bench::emit_series(csv, "TCP " + std::to_string(i + 1),
-                       tcp[static_cast<size_t>(i)]->goodput, 0_sec, 400_sec);
+                       tcp[static_cast<size_t>(i)]->goodput, 0_sec, T);
   }
 
   const double e0 = tfmcc.goodput(0).mean_kbps(60_sec, 100_sec);

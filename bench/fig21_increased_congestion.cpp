@@ -11,14 +11,16 @@
 
 #include "scenario_util.hpp"
 
-int main() {
+TFMCC_SCENARIO(fig21_increased_congestion,
+               "Figure 21: TCP flow count doubling every 50 s") {
   using namespace tfmcc;
   using namespace tfmcc::time_literals;
 
   bench::figure_header("Figure 21", "Responsiveness to increased congestion");
 
-  bench::SharedBottleneck s{16e6, 28_ms, /*n_receivers=*/2, /*n_tcp=*/15, 211,
-                            /*queue_pkts=*/80};
+  const SimTime T = opts.duration_or(250_sec);
+  bench::SharedBottleneck s{16e6, 28_ms, /*n_receivers=*/2, /*n_tcp=*/15,
+                            opts.seed_or(211), /*queue_pkts=*/80};
   s.tfmcc->sender().start(SimTime::zero());
   // Start groups of 1, 2, 4 and 8 TCP flows at 50, 100, 150 and 200 s.
   int idx = 0;
@@ -30,10 +32,10 @@ int main() {
       ++idx;
     }
   }
-  s.sim.run_until(250_sec);
+  s.sim.run_until(T);
 
   CsvWriter csv(std::cout, {"flow", "time_s", "kbps"});
-  bench::emit_series(csv, "TFMCC", s.tfmcc->goodput(0), 0_sec, 250_sec);
+  bench::emit_series(csv, "TFMCC", s.tfmcc->goodput(0), 0_sec, T);
   // Aggregate each start-group of TCP flows into one trace, as the paper
   // does for readability.
   idx = 0;
@@ -45,7 +47,7 @@ int main() {
       }
     }
     bench::emit_series(csv, "TCP group " + std::to_string(g + 1), agg, 0_sec,
-                       250_sec);
+                       T);
   }
 
   // Epoch means for TFMCC, measured in the second half of each epoch so the

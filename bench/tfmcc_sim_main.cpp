@@ -1,0 +1,55 @@
+// The unified scenario driver.  Every figure/ablation/comparison bench in
+// this directory registers itself with the ScenarioRegistry; this binary
+// links them all and dispatches by name:
+//
+//   $ tfmcc_sim --list
+//   $ tfmcc_sim fig09_single_bottleneck --duration 5 --seed 7
+//
+// A scenario run produces byte-identical output to the corresponding
+// standalone bench binary invoked with the same options.
+
+#include <cstring>
+#include <iostream>
+
+#include "sim/scenario.hpp"
+
+namespace {
+
+void print_usage(std::ostream& os) {
+  os << "usage: tfmcc_sim --list\n"
+        "       tfmcc_sim <scenario> [--duration <seconds>] [--seed <n>]\n";
+}
+
+void print_list() {
+  const auto& reg = tfmcc::ScenarioRegistry::instance();
+  for (const auto& name : reg.names()) {
+    const tfmcc::Scenario* s = reg.find(name);
+    std::cout << name << "\t" << s->description << "\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    print_usage(std::cerr);
+    return 2;
+  }
+  const std::string_view cmd = argv[1];
+  if (cmd == "--list" || cmd == "-l") {
+    print_list();
+    return 0;
+  }
+  if (cmd == "--help" || cmd == "-h") {
+    print_usage(std::cout);
+    print_list();
+    return 0;
+  }
+
+  tfmcc::ScenarioOptions opts;
+  if (!tfmcc::parse_scenario_options(argc - 2, argv + 2, opts, std::cerr)) {
+    return 2;
+  }
+  const int rc = tfmcc::ScenarioRegistry::instance().run(cmd, opts, std::cerr);
+  return rc < 0 ? 2 : rc;
+}

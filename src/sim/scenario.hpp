@@ -1,0 +1,102 @@
+#pragma once
+
+// Scenario registry: the unified driver layer behind `tfmcc_sim`.
+//
+// Every paper-figure experiment registers itself under a stable name via
+// TFMCC_SCENARIO; the `tfmcc_sim` binary links all of them and dispatches by
+// name, so adding a workload is one registration instead of a new binary.
+// The same translation units still build as standalone per-figure binaries
+// (with TFMCC_BENCH_STANDALONE defined) whose main() goes through the exact
+// same scenario function, keeping the CSV output schema identical.
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/sim_time.hpp"
+
+namespace tfmcc {
+
+/// Options handed to every scenario, parsed from the command line.  Absent
+/// options fall back to the per-scenario paper defaults via *_or(), so a bare
+/// invocation reproduces the figure exactly as published.
+struct ScenarioOptions {
+  std::optional<SimTime> duration;
+  std::optional<std::uint64_t> seed;
+
+  SimTime duration_or(SimTime dflt) const { return duration.value_or(dflt); }
+  std::uint64_t seed_or(std::uint64_t dflt) const {
+    return seed.value_or(dflt);
+  }
+};
+
+using ScenarioFn = int (*)(const ScenarioOptions&);
+
+struct Scenario {
+  std::string name;
+  std::string description;
+  ScenarioFn fn{nullptr};
+};
+
+class ScenarioRegistry {
+ public:
+  /// The process-wide registry populated by TFMCC_SCENARIO registrations.
+  static ScenarioRegistry& instance();
+
+  /// Returns true when newly added; a duplicate name keeps the first
+  /// registration and returns false.
+  bool add(std::string name, std::string description, ScenarioFn fn);
+
+  /// Nullptr when no scenario is registered under `name`.
+  const Scenario* find(std::string_view name) const;
+
+  std::vector<std::string> names() const;
+  std::size_t size() const { return scenarios_.size(); }
+
+  /// Runs the named scenario and returns its exit code, or -1 (after writing
+  /// a diagnostic and the known names to `err`) when the name is unknown.
+  int run(std::string_view name, const ScenarioOptions& opts,
+          std::ostream& err) const;
+
+ private:
+  std::map<std::string, Scenario, std::less<>> scenarios_;
+};
+
+/// Parses `--duration <seconds>` / `--seed <n>` pairs.  Returns false and
+/// writes a diagnostic to `err` on unknown flags or malformed values.
+bool parse_scenario_options(int argc, char** argv, ScenarioOptions& opts,
+                            std::ostream& err);
+
+/// Shared main() body for the standalone bench binaries: parse the option
+/// flags, then run the single named scenario from the registry.
+int run_scenario_main(const char* name, int argc, char** argv);
+
+}  // namespace tfmcc
+
+#ifdef TFMCC_BENCH_STANDALONE
+#define TFMCC_SCENARIO_DEFINE_MAIN(ident)                                 \
+  int main(int argc, char** argv) {                                       \
+    return ::tfmcc::run_scenario_main(#ident, argc, argv);                \
+  }
+#else
+#define TFMCC_SCENARIO_DEFINE_MAIN(ident)
+#endif
+
+/// Defines and registers a scenario function:
+///   TFMCC_SCENARIO(fig09_single_bottleneck, "Figure 9: ...") {
+///     const SimTime T = opts.duration_or(200_sec);
+///     ...
+///     return 0;
+///   }
+#define TFMCC_SCENARIO(ident, desc)                                       \
+  static int tfmcc_scenario_##ident(const ::tfmcc::ScenarioOptions&);     \
+  [[maybe_unused]] static const bool tfmcc_scenario_reg_##ident =         \
+      ::tfmcc::ScenarioRegistry::instance().add(#ident, desc,             \
+                                                &tfmcc_scenario_##ident); \
+  TFMCC_SCENARIO_DEFINE_MAIN(ident)                                       \
+  static int tfmcc_scenario_##ident(                                      \
+      [[maybe_unused]] const ::tfmcc::ScenarioOptions& opts)

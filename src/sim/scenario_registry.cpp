@@ -1,0 +1,103 @@
+#include "sim/scenario.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+namespace tfmcc {
+
+ScenarioRegistry& ScenarioRegistry::instance() {
+  static ScenarioRegistry registry;
+  return registry;
+}
+
+bool ScenarioRegistry::add(std::string name, std::string description,
+                           ScenarioFn fn) {
+  auto [it, inserted] = scenarios_.try_emplace(
+      name, Scenario{name, std::move(description), fn});
+  return inserted;
+}
+
+const Scenario* ScenarioRegistry::find(std::string_view name) const {
+  auto it = scenarios_.find(name);
+  return it == scenarios_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> ScenarioRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(scenarios_.size());
+  for (const auto& [name, _] : scenarios_) out.push_back(name);
+  return out;
+}
+
+int ScenarioRegistry::run(std::string_view name, const ScenarioOptions& opts,
+                          std::ostream& err) const {
+  const Scenario* s = find(name);
+  if (s == nullptr) {
+    err << "error: unknown scenario '" << name << "'\nknown scenarios:\n";
+    for (const auto& n : names()) err << "  " << n << '\n';
+    return -1;
+  }
+  return s->fn(opts);
+}
+
+namespace {
+
+bool parse_f64(std::string_view text, double& out) {
+  // std::from_chars for double is flaky across stdlibs; strtod is enough here.
+  std::string buf{text};
+  char* end = nullptr;
+  out = std::strtod(buf.c_str(), &end);
+  return end == buf.c_str() + buf.size() && !buf.empty();
+}
+
+bool parse_u64(std::string_view text, std::uint64_t& out) {
+  auto [p, ec] = std::from_chars(text.data(), text.data() + text.size(), out);
+  return ec == std::errc{} && p == text.data() + text.size();
+}
+
+}  // namespace
+
+bool parse_scenario_options(int argc, char** argv, ScenarioOptions& opts,
+                            std::ostream& err) {
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (arg == "--duration") {
+      // The upper bound keeps the seconds-to-SimTime conversion inside
+      // int64 nanoseconds (~292 years); it also rejects inf.
+      constexpr double kMaxSeconds = 9.0e9;
+      double secs = 0;
+      if (!has_value || !parse_f64(argv[i + 1], secs) ||
+          !std::isfinite(secs) || secs <= 0 || secs > kMaxSeconds) {
+        err << "error: --duration expects a positive number of seconds\n";
+        return false;
+      }
+      opts.duration = SimTime::seconds(secs);
+      ++i;
+    } else if (arg == "--seed") {
+      std::uint64_t seed = 0;
+      if (!has_value || !parse_u64(argv[i + 1], seed)) {
+        err << "error: --seed expects a non-negative integer\n";
+        return false;
+      }
+      opts.seed = seed;
+      ++i;
+    } else {
+      err << "error: unknown option '" << arg
+          << "' (expected --duration <s> or --seed <n>)\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+int run_scenario_main(const char* name, int argc, char** argv) {
+  ScenarioOptions opts;
+  if (!parse_scenario_options(argc - 1, argv + 1, opts, std::cerr)) return 2;
+  return ScenarioRegistry::instance().run(name, opts, std::cerr);
+}
+
+}  // namespace tfmcc

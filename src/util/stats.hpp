@@ -45,7 +45,12 @@ class TimeSeries {
     SimTime t;
     double v;
   };
-  const std::vector<Point>& points() const { return points_; }
+  // Ref-qualified so `binner.series_kbps().points()` in a range-for is safe:
+  // on a temporary TimeSeries the vector is moved out as a prvalue (whose
+  // lifetime the range-for extends) instead of a reference into the dying
+  // temporary.
+  const std::vector<Point>& points() const& { return points_; }
+  std::vector<Point> points() && { return std::move(points_); }
 
   /// Mean of values with t in [from, to).
   double mean_in(SimTime from, SimTime to) const;

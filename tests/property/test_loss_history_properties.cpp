@@ -58,7 +58,6 @@ TEST_P(LossHistorySweep, EventRateBoundedByRawLossRate) {
 }
 
 TEST_P(LossHistorySweep, ReaggregationWithSameRttIsStable) {
-  const auto [depth, p, seed] = GetParam();
   auto h = drive(3000, 100_ms);
   if (!h.has_loss()) return;
   const int events_before = h.event_count();
@@ -70,7 +69,6 @@ TEST_P(LossHistorySweep, ReaggregationWithSameRttIsStable) {
 }
 
 TEST_P(LossHistorySweep, LargerAggregationRttNeverIncreasesEvents) {
-  const auto [depth, p, seed] = GetParam();
   auto h1 = drive(3000, 100_ms);
   auto h2 = drive(3000, 100_ms);  // identical pattern (same seed)
   if (!h1.has_loss()) return;
