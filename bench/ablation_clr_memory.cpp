@@ -20,7 +20,10 @@ struct Outcome {
   int clr_switches;
 };
 
-Outcome run(bool remember, std::uint64_t seed) {
+// The burst script lives at 90..95 s on the reference 180 s timeline and
+// warps proportionally with --duration.
+Outcome run(bool remember, double clr_loss, double burst_loss,
+            const TimeWarp& warp, std::uint64_t seed) {
   Simulator sim{seed};
   Topology topo{sim};
   LinkConfig trunk;
@@ -29,7 +32,7 @@ Outcome run(bool remember, std::uint64_t seed) {
   LinkConfig steady;
   steady.rate_bps = 1e9;
   steady.delay = 15_ms;
-  steady.loss_rate = 0.01;  // the long-term CLR
+  steady.loss_rate = clr_loss;  // the long-term CLR
   LinkConfig bursty;
   bursty.rate_bps = 1e9;
   bursty.delay = 15_ms;
@@ -41,14 +44,14 @@ Outcome run(bool remember, std::uint64_t seed) {
   flow.add_joined_receiver(star.leaves[0]);
   flow.add_joined_receiver(star.leaves[1]);
   flow.sender().start(SimTime::zero());
-  sim.run_until(90_sec);
+  sim.run_until(warp(90_sec));
   // Transient burst on the normally-clean path: it briefly becomes CLR.
-  star.leaf_links[1].first->set_loss_rate(0.08);
-  sim.run_until(95_sec);
+  star.leaf_links[1].first->set_loss_rate(burst_loss);
+  sim.run_until(warp(95_sec));
   star.leaf_links[1].first->set_loss_rate(0.002);
-  sim.run_until(180_sec);
+  sim.run_until(warp(180_sec));
   Outcome o;
-  o.mean_after_kbps = flow.goodput(0).mean_kbps(95_sec, 180_sec);
+  o.mean_after_kbps = flow.goodput(0).mean_kbps(warp(95_sec), warp(180_sec));
   o.clr_switches = static_cast<int>(flow.sender().clr_history().size());
   return o;
 }
@@ -56,7 +59,11 @@ Outcome run(bool remember, std::uint64_t seed) {
 }  // namespace
 
 TFMCC_SCENARIO(ablation_clr_memory,
-               "Ablation: Appendix C previous-CLR memory") {
+               "Ablation: Appendix C previous-CLR memory",
+               tfmcc::param("clr_loss", 0.01,
+                            "loss rate of the long-term CLR's path", 0.0),
+               tfmcc::param("burst_loss", 0.08,
+                            "loss rate during the transient burst", 0.0)) {
   using tfmcc::bench::check;
   using tfmcc::bench::figure_header;
   using tfmcc::bench::note;
@@ -64,8 +71,12 @@ TFMCC_SCENARIO(ablation_clr_memory,
   figure_header("Ablation", "Appendix C: storing the previous CLR");
 
   const std::uint64_t seed = opts.seed_or(311);
-  const Outcome without = run(false, seed);
-  const Outcome with = run(true, seed);
+  const double clr_loss = opts.param_or("clr_loss", 0.01);
+  const double burst_loss = opts.param_or("burst_loss", 0.08);
+  const tfmcc::TimeWarp warp{tfmcc::SimTime::seconds(180),
+                             opts.duration_or(tfmcc::SimTime::seconds(180))};
+  const Outcome without = run(false, clr_loss, burst_loss, warp, seed);
+  const Outcome with = run(true, clr_loss, burst_loss, warp, seed);
 
   tfmcc::CsvWriter csv(std::cout,
                        {"variant", "mean_after_burst_kbps", "clr_switches"});

@@ -18,8 +18,10 @@ using namespace tfmcc;
 using namespace tfmcc::time_literals;
 
 /// Time for the sender rate to fall below half its previous steady value
-/// after the receiver's path loss jumps from 0.5% to 8%.
-double adapt_seconds(int depth, std::uint64_t seed) {
+/// after the receiver's path loss jumps from 0.5% to 8%.  The settle /
+/// adaptation windows live at 120 s each on the reference 240 s timeline
+/// and warp proportionally with --duration.
+double adapt_seconds(int depth, const TimeWarp& warp, std::uint64_t seed) {
   Simulator sim{seed};
   Topology topo{sim};
   LinkConfig trunk;
@@ -35,11 +37,12 @@ double adapt_seconds(int depth, std::uint64_t seed) {
   TfmccFlow flow{sim, topo, star.sender, cfg};
   flow.add_joined_receiver(star.leaves[0]);
   flow.sender().start(SimTime::zero());
-  sim.run_until(120_sec);
+  sim.run_until(warp(120_sec));
   const double before = flow.sender().rate_Bps();
   star.leaf_links[0].first->set_loss_rate(0.08);
   const SimTime t0 = sim.now();
-  while (sim.now() < t0 + 120_sec) {
+  const SimTime window = warp(240_sec) - warp(120_sec);
+  while (sim.now() < t0 + window) {
     sim.run_until(sim.now() + 500_ms);
     if (flow.sender().rate_Bps() < before / 2.0) break;
   }
@@ -49,7 +52,10 @@ double adapt_seconds(int depth, std::uint64_t seed) {
 }  // namespace
 
 TFMCC_SCENARIO(ablation_loss_history,
-               "Ablation: loss-history depth, smoothness vs responsiveness") {
+               "Ablation: loss-history depth, smoothness vs responsiveness",
+               tfmcc::param("trials", 150, "Monte-Carlo trials, scaling side", 1),
+               tfmcc::param("n_receivers", 1000,
+                            "receiver count, scaling side", 1)) {
   using tfmcc::bench::check;
   using tfmcc::bench::figure_header;
   using tfmcc::bench::note;
@@ -58,24 +64,27 @@ TFMCC_SCENARIO(ablation_loss_history,
   figure_header("Ablation", "Loss-history depth: smoothness vs responsiveness");
 
   const std::uint64_t seed = opts.seed_or(301);
+  const int n_receivers = opts.param_or("n_receivers", 1000);
+  const tfmcc::TimeWarp warp{tfmcc::SimTime::seconds(240),
+                             opts.duration_or(tfmcc::SimTime::seconds(240))};
   // (a) Scaling side.
   sc::ModelConfig mc;
-  mc.trials = 150;
+  mc.trials = opts.param_or("trials", 150);
   tfmcc::Rng rng{seed + 30};
   tfmcc::CsvWriter csv(std::cout, {"metric", "depth", "value"});
   double rate_d2 = 0, rate_d32 = 0;
   for (int depth : {2, 8, 32}) {
     mc.history_depth = depth;
-    const double kbps = tfmcc::kbps_from_Bps(
-        sc::expected_min_rate_Bps(sc::constant_losses(1000, 0.1), mc, rng));
+    const double kbps = tfmcc::kbps_from_Bps(sc::expected_min_rate_Bps(
+        sc::constant_losses(n_receivers, 0.1), mc, rng));
     csv.row("min_rate_n1000_kbps", depth, kbps);
     if (depth == 2) rate_d2 = kbps;
     if (depth == 32) rate_d32 = kbps;
   }
 
   // (b) Responsiveness side.
-  const double t8 = adapt_seconds(8, seed);
-  const double t32 = adapt_seconds(32, seed);
+  const double t8 = adapt_seconds(8, warp, seed);
+  const double t32 = adapt_seconds(32, warp, seed);
   csv.row("adapt_to_4x_loss_seconds", 8, t8);
   csv.row("adapt_to_4x_loss_seconds", 32, t32);
 

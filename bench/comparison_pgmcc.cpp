@@ -22,20 +22,21 @@ struct Run {
   double cov;
 };
 
-Run run_tfmcc(std::uint64_t seed, SimTime horizon) {
+Run run_tfmcc(int n_receivers, double bottleneck_bps, std::uint64_t seed,
+              SimTime horizon) {
   Simulator sim{seed};
   Topology topo{sim};
   LinkConfig bn;
-  bn.rate_bps = 2e6;
+  bn.rate_bps = bottleneck_bps;
   bn.delay = 20_ms;
   bn.queue_limit_packets = 25;
   bn.jitter = bench::kPhaseJitter;
   LinkConfig acc;
   acc.rate_bps = 1e9;
   acc.delay = 2_ms;
-  const Dumbbell d = make_dumbbell(topo, 1, 4, bn, acc);
+  const Dumbbell d = make_dumbbell(topo, 1, n_receivers, bn, acc);
   TfmccFlow flow{sim, topo, d.left_hosts[0]};
-  for (int i = 0; i < 4; ++i) flow.add_joined_receiver(d.right_hosts[static_cast<size_t>(i)]);
+  for (int i = 0; i < n_receivers; ++i) flow.add_joined_receiver(d.right_hosts[static_cast<size_t>(i)]);
   flow.sender().start(SimTime::zero());
   sim.run_until(horizon);
   const SimTime warm = bench::warmup(60_sec, horizon);
@@ -43,23 +44,24 @@ Run run_tfmcc(std::uint64_t seed, SimTime horizon) {
           bench::trace_cov(flow.goodput(0), warm, horizon)};
 }
 
-Run run_pgmcc(std::uint64_t seed, SimTime horizon) {
+Run run_pgmcc(int n_receivers, double bottleneck_bps, std::uint64_t seed,
+              SimTime horizon) {
   Simulator sim{seed};
   Topology topo{sim};
   LinkConfig bn;
-  bn.rate_bps = 2e6;
+  bn.rate_bps = bottleneck_bps;
   bn.delay = 20_ms;
   bn.queue_limit_packets = 25;
   bn.jitter = bench::kPhaseJitter;
   LinkConfig acc;
   acc.rate_bps = 1e9;
   acc.delay = 2_ms;
-  const Dumbbell d = make_dumbbell(topo, 1, 4, bn, acc);
+  const Dumbbell d = make_dumbbell(topo, 1, n_receivers, bn, acc);
   MulticastSession session{topo, d.left_hosts[0], 12};
   PgmccSender sender{sim, session, PgmccConfig{}, sim.make_rng(900)};
   std::vector<std::unique_ptr<PgmccReceiver>> receivers;
   ThroughputBinner goodput{1_sec};
-  for (int i = 0; i < 4; ++i) {
+  for (int i = 0; i < n_receivers; ++i) {
     receivers.push_back(std::make_unique<PgmccReceiver>(
         sim, session, d.right_hosts[static_cast<size_t>(i)], i, PgmccConfig{},
         sim.make_rng(901 + static_cast<std::uint64_t>(i))));
@@ -77,7 +79,9 @@ Run run_pgmcc(std::uint64_t seed, SimTime horizon) {
 }  // namespace
 
 TFMCC_SCENARIO(comparison_pgmcc,
-               "Section 5 comparison: TFMCC vs PGMCC on one bottleneck") {
+               "Section 5 comparison: TFMCC vs PGMCC on one bottleneck",
+               tfmcc::param("n_receivers", 4, "receiver count per protocol", 1),
+               tfmcc::param("bottleneck_bps", 2e6, "bottleneck rate", 1e3)) {
   using tfmcc::bench::check;
   using tfmcc::bench::figure_header;
   using tfmcc::bench::note;
@@ -86,8 +90,10 @@ TFMCC_SCENARIO(comparison_pgmcc,
 
   const tfmcc::SimTime horizon = opts.duration_or(300_sec);
   const std::uint64_t seed = opts.seed_or(501);
-  const Run tfmcc_run = run_tfmcc(seed, horizon);
-  const Run pgmcc_run = run_pgmcc(seed, horizon);
+  const int n_receivers = opts.param_or("n_receivers", 4);
+  const double bottleneck_bps = opts.param_or("bottleneck_bps", 2e6);
+  const Run tfmcc_run = run_tfmcc(n_receivers, bottleneck_bps, seed, horizon);
+  const Run pgmcc_run = run_pgmcc(n_receivers, bottleneck_bps, seed, horizon);
 
   tfmcc::CsvWriter csv(std::cout, {"protocol", "mean_kbps", "cov"});
   csv.row("TFMCC", tfmcc_run.mean_kbps, tfmcc_run.cov);

@@ -14,14 +14,18 @@
 #include "util/csv.hpp"
 
 TFMCC_SCENARIO(fig01_bias_cdf,
-               "Figure 1: CDF of feedback times for the biasing methods") {
+               "Figure 1: CDF of feedback times for the biasing methods",
+               tfmcc::param("x_ratio", 0.1, "calculated/current rate ratio x", 0.0),
+               tfmcc::param("curve_points", 200, "samples along the CDF", 8)) {
   using namespace tfmcc;
   namespace ft = feedback_timer;
 
   bench::figure_header("Figure 1", "Different feedback biasing methods (CDF)");
 
   const double kT = 4.0;  // RTTs
-  const double kX = 0.1;  // strongly-biased regime (calc rate well below send rate)
+  // Strongly-biased regime by default (calc rate well below send rate).
+  const double kX = opts.param_or("x_ratio", 0.1);
+  const int kPoints = opts.param_or("curve_points", 200);
 
   FeedbackTimerConfig exp_cfg;
   exp_cfg.method = BiasMethod::kUnbiased;
@@ -32,14 +36,14 @@ TFMCC_SCENARIO(fig01_bias_cdf,
 
   CsvWriter csv(std::cout, {"time_rtts", "exponential", "offset", "modified_n"});
   double p_exp_early = 0, p_n_early = 0;
-  for (int i = 0; i <= 200; ++i) {
-    const double t_rtts = kT * i / 200.0;
+  for (int i = 0; i <= kPoints; ++i) {
+    const double t_rtts = kT * i / kPoints;
     const double t_units = t_rtts / kT;
     const double f_exp = ft::cdf(t_units, kX, exp_cfg);
     const double f_off = ft::cdf(t_units, kX, off_cfg);
     const double f_n = ft::cdf(t_units, kX, n_cfg);
     csv.row(t_rtts, f_exp, f_off, f_n);
-    if (i == 25) {  // t = 0.5 RTT: the "early response" regime
+    if (i == kPoints / 8) {  // t ~ 0.5 RTT: the "early response" regime
       p_exp_early = f_exp;
       p_n_early = f_n;
     }

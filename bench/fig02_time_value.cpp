@@ -16,13 +16,14 @@
 #include "util/csv.hpp"
 
 TFMCC_SCENARIO(fig02_time_value,
-               "Figure 2: time-value distribution of one feedback round") {
+               "Figure 2: time-value distribution of one feedback round",
+               tfmcc::param("n_receivers", 10000, "receivers in the round", 1)) {
   using namespace tfmcc;
   namespace fr = feedback_round;
 
   bench::figure_header("Figure 2", "Time-value distribution of one round");
 
-  const int kReceivers = 10000;
+  const int kReceivers = opts.param_or("n_receivers", 10000);
   const std::uint64_t seed = opts.seed_or(42);
   Rng rng{seed};
   const auto values = fr::uniform_values(kReceivers, 0.0, 1.0, rng);

@@ -13,14 +13,16 @@
 #include "util/csv.hpp"
 
 TFMCC_SCENARIO(fig04_expected_feedback,
-               "Figure 4: expected feedback messages vs window and n") {
+               "Figure 4: expected feedback messages vs window and n",
+               tfmcc::param("n_estimate", 10000.0,
+                            "sender's receiver-count estimate N", 1.0)) {
   using namespace tfmcc;
 
   bench::figure_header("Figure 4", "Expected number of feedback messages");
 
   FeedbackTimerConfig cfg;
   cfg.method = BiasMethod::kUnbiased;  // worst case: x identical at all receivers
-  cfg.n_estimate = 10000.0;
+  cfg.n_estimate = opts.param_or("n_estimate", 10000.0);
 
   CsvWriter csv(std::cout, {"t_prime_rtts", "n", "expected_messages"});
   double at_t3_n100 = 0, at_t2_n100000 = 0, at_t6_n10 = 0;

@@ -13,21 +13,29 @@
 #include "util/csv.hpp"
 
 TFMCC_SCENARIO(fig05_response_time,
-               "Figure 5: feedback response time vs receiver count") {
+               "Figure 5: feedback response time vs receiver count",
+               tfmcc::param("trials", 60, "Monte-Carlo trials per point", 1),
+               tfmcc::param("n_max", 10000,
+                            "skip receiver counts above this", 1)) {
   using namespace tfmcc;
   namespace fr = feedback_round;
 
   bench::figure_header("Figure 5", "Feedback delay of the biasing methods");
 
-  const int kTrials = 60;
+  const int kTrials = opts.param_or("trials", 60);
+  const int n_max = opts.param_or("n_max", 10000);
   Rng root{opts.seed_or(11)};
   const BiasMethod methods[3] = {BiasMethod::kUnbiased, BiasMethod::kOffset,
                                  BiasMethod::kModifiedOffset};
 
   CsvWriter csv(std::cout,
                 {"n", "unbiased_exponential", "basic_offset", "modified_offset"});
+  // first_at_10000 tracks the largest receiver count actually swept.
   double first_at_10 = 0, first_at_10000 = 0;
+  int n_largest = 0;
   for (int n : {1, 10, 100, 1000, 10000}) {
+    if (n > n_max) continue;
+    n_largest = n;
     double avg[3] = {0, 0, 0};
     for (int t = 0; t < kTrials; ++t) {
       Rng r = root.substream(static_cast<std::uint64_t>(n) * 1000 +
@@ -44,11 +52,14 @@ TFMCC_SCENARIO(fig05_response_time,
     for (double& a : avg) a /= kTrials;
     csv.row(n, avg[0], avg[1], avg[2]);
     if (n == 10) first_at_10 = avg[0];
-    if (n == 10000) first_at_10000 = avg[0];
+    first_at_10000 = avg[0];
   }
 
-  bench::check(first_at_10000 < first_at_10,
-               "response time decreases with the number of receivers");
+  if (n_largest > 10) {
+    // Meaningless (trivially equal) when the sweep is capped at n <= 10.
+    bench::check(first_at_10000 < first_at_10,
+                 "response time decreases with the number of receivers");
+  }
   bench::check(first_at_10 < 5.0, "feedback arrives within the round");
   return 0;
 }

@@ -10,7 +10,11 @@
 #include "scenario_util.hpp"
 
 TFMCC_SCENARIO(fig09_single_bottleneck,
-               "Figure 9: 1 TFMCC + 15 TCP over one 8 Mbit/s bottleneck") {
+               "Figure 9: 1 TFMCC + 15 TCP over one 8 Mbit/s bottleneck",
+               tfmcc::param("n_receivers", 4, "TFMCC receiver count", 1),
+               tfmcc::param("n_tcp", 15, "competing TCP flows", 1),
+               tfmcc::param("bottleneck_bps", 8e6, "shared bottleneck rate",
+                            1e3)) {
   using namespace tfmcc;
   using namespace tfmcc::time_literals;
 
@@ -19,8 +23,10 @@ TFMCC_SCENARIO(fig09_single_bottleneck,
 
   const SimTime T = opts.duration_or(200_sec);
   const SimTime warmup = bench::warmup(60_sec, T);
+  const int n_tcp = opts.param_or("n_tcp", 15);
 
-  bench::SharedBottleneck s{8e6, 18_ms, /*n_receivers=*/4, /*n_tcp=*/15,
+  bench::SharedBottleneck s{opts.param_or("bottleneck_bps", 8e6), 18_ms,
+                            opts.param_or("n_receivers", 4), n_tcp,
                             opts.seed_or(91)};
   s.start_all();
   s.sim.run_until(T);
@@ -28,7 +34,9 @@ TFMCC_SCENARIO(fig09_single_bottleneck,
   CsvWriter csv(std::cout, {"flow", "time_s", "kbps"});
   bench::emit_series(csv, "TFMCC", s.tfmcc->goodput(0), warmup, T);
   bench::emit_series(csv, "TCP 1", s.tcp[0]->goodput, warmup, T);
-  bench::emit_series(csv, "TCP 2", s.tcp[1]->goodput, warmup, T);
+  if (n_tcp > 1) {
+    bench::emit_series(csv, "TCP 2", s.tcp[1]->goodput, warmup, T);
+  }
 
   const double tfmcc_kbps = s.tfmcc->goodput(0).mean_kbps(warmup, T);
   const double tcp_kbps = s.tcp_mean_kbps(warmup, T);

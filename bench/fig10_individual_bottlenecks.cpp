@@ -9,7 +9,9 @@
 #include "scenario_util.hpp"
 
 TFMCC_SCENARIO(fig10_individual_bottlenecks,
-               "Figure 10: TFMCC vs TCP on individual 1 Mbit/s tails") {
+               "Figure 10: TFMCC vs TCP on individual 1 Mbit/s tails",
+               tfmcc::param("n_tails", 16, "per-receiver tail circuits", 1),
+               tfmcc::param("tail_bps", 1e6, "tail circuit rate", 1e3)) {
   using namespace tfmcc;
   using namespace tfmcc::time_literals;
 
@@ -18,7 +20,7 @@ TFMCC_SCENARIO(fig10_individual_bottlenecks,
 
   const SimTime T = opts.duration_or(200_sec);
   const SimTime warmup = bench::warmup(60_sec, T);
-  const int kTails = 16;
+  const int kTails = opts.param_or("n_tails", 16);
   Simulator sim{opts.seed_or(101)};
   Topology topo{sim};
 
@@ -29,14 +31,15 @@ TFMCC_SCENARIO(fig10_individual_bottlenecks,
   fat.delay = 2_ms;
   LinkConfig tail;
   tail.jitter = bench::kPhaseJitter;
-  tail.rate_bps = 1e6;
+  tail.rate_bps = opts.param_or("tail_bps", 1e6);
   tail.delay = 18_ms;
   tail.queue_limit_packets = 15;
 
   const NodeId router = topo.add_node();
   const NodeId src = topo.add_node();
   topo.add_duplex_link(src, router, fat);
-  std::vector<NodeId> tcp_src(kTails), sink(kTails);
+  std::vector<NodeId> tcp_src(static_cast<size_t>(kTails)),
+      sink(static_cast<size_t>(kTails));
   for (int i = 0; i < kTails; ++i) {
     tcp_src[static_cast<size_t>(i)] = topo.add_node();
     topo.add_duplex_link(tcp_src[static_cast<size_t>(i)], router, fat);
@@ -59,7 +62,9 @@ TFMCC_SCENARIO(fig10_individual_bottlenecks,
   CsvWriter csv(std::cout, {"flow", "time_s", "kbps"});
   bench::emit_series(csv, "TFMCC", tfmcc.goodput(0), warmup, T);
   bench::emit_series(csv, "TCP 1", tcp[0]->goodput, warmup, T);
-  bench::emit_series(csv, "TCP 2", tcp[1]->goodput, warmup, T);
+  if (kTails > 1) {
+    bench::emit_series(csv, "TCP 2", tcp[1]->goodput, warmup, T);
+  }
 
   const double tfmcc_kbps = tfmcc.goodput(0).mean_kbps(warmup, T);
   double tcp_kbps = 0;

@@ -13,7 +13,10 @@
 #include "scenario_util.hpp"
 
 TFMCC_SCENARIO(fig12_rtt_acquisition,
-               "Figure 12: rate of initial RTT measurements, 1000 receivers") {
+               "Figure 12: rate of initial RTT measurements, 1000 receivers",
+               tfmcc::param("n_receivers", 1000, "receiver-set size", 1),
+               tfmcc::param("bottleneck_bps", 500e3, "bottleneck rate", 1e3),
+               tfmcc::param("sample_period_s", 5, "sampling interval", 1)) {
   using namespace tfmcc;
   using namespace tfmcc::time_literals;
 
@@ -21,13 +24,14 @@ TFMCC_SCENARIO(fig12_rtt_acquisition,
 
   const int horizon_s =
       static_cast<int>(opts.duration_or(200_sec).to_seconds());
-  const int kReceivers = 1000;
+  const int kReceivers = opts.param_or("n_receivers", 1000);
+  const int sample_period = opts.param_or("sample_period_s", 5);
   Simulator sim{opts.seed_or(121)};
   Topology topo{sim};
 
   LinkConfig bn;
   bn.jitter = bench::kPhaseJitter;
-  bn.rate_bps = 500e3;
+  bn.rate_bps = opts.param_or("bottleneck_bps", 500e3);
   bn.delay = 20_ms;
   bn.queue_limit_packets = 20;
   LinkConfig acc;
@@ -40,7 +44,7 @@ TFMCC_SCENARIO(fig12_rtt_acquisition,
   topo.add_duplex_link(src, left, acc);
   topo.add_duplex_link(left, right, bn);
   Rng delay_rng{opts.seed_or(121) * 10 + 2};
-  std::vector<NodeId> hosts(kReceivers);
+  std::vector<NodeId> hosts(static_cast<size_t>(kReceivers));
   for (int i = 0; i < kReceivers; ++i) {
     hosts[static_cast<size_t>(i)] = topo.add_node();
     LinkConfig a = acc;
@@ -56,7 +60,7 @@ TFMCC_SCENARIO(fig12_rtt_acquisition,
 
   CsvWriter csv(std::cout, {"time_s", "receivers_with_valid_rtt"});
   std::vector<int> samples;
-  for (int t = 0; t <= horizon_s; t += 5) {
+  for (int t = 0; t <= horizon_s; t += sample_period) {
     sim.run_until(SimTime::seconds(static_cast<double>(t)));
     const int acquired = flow.receivers_with_rtt();
     csv.row(t, acquired);
@@ -69,7 +73,7 @@ TFMCC_SCENARIO(fig12_rtt_acquisition,
   const int at_early = samples[samples.size() / 10];
   const int at_mid = samples[samples.size() / 2];
   const int at_end = samples.back();
-  const int early_s = 5 * static_cast<int>(samples.size() / 10);
+  const int early_s = sample_period * static_cast<int>(samples.size() / 10);
 
   const double rounds = std::max(1.0, static_cast<double>(flow.sender().round()));
   bench::note("rounds: " + std::to_string(flow.sender().round()) +
@@ -79,8 +83,9 @@ TFMCC_SCENARIO(fig12_rtt_acquisition,
               std::to_string(flow.sender().feedback_received() / rounds) +
               "/round); acquired @" + std::to_string(early_s) + "s=" +
               std::to_string(at_early) + " @" +
-              std::to_string(5 * static_cast<int>(samples.size() / 2)) + "s=" +
-              std::to_string(at_mid) + " @" + std::to_string(horizon_s) +
+              std::to_string(sample_period *
+                             static_cast<int>(samples.size() / 2)) +
+              "s=" + std::to_string(at_mid) + " @" + std::to_string(horizon_s) +
               "s=" + std::to_string(at_end));
   bench::check(at_early > 0, "acquisition starts in the first rounds");
   bench::check(at_mid > at_early && at_end >= at_mid,

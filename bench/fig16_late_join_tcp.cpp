@@ -10,17 +10,24 @@
 #include "scenario_util.hpp"
 
 TFMCC_SCENARIO(fig16_late_join_tcp,
-               "Figure 16: late join with a competing TCP on the slow link") {
+               "Figure 16: late join with a competing TCP on the slow link",
+               tfmcc::param("n_receivers", 8, "TFMCC receivers at the bottleneck", 1),
+               tfmcc::param("n_tcp", 7, "competing TCP flows", 1),
+               tfmcc::param("bottleneck_bps", 8e6, "shared bottleneck rate",
+                            1e3),
+               tfmcc::param("slow_bps", 200e3, "late joiner's tail rate", 1e3)) {
   using namespace tfmcc;
   using namespace tfmcc::time_literals;
 
   bench::figure_header("Figure 16", "Additional TCP flow on the slow link");
 
-  const SimTime T = opts.duration_or(140_sec);
-  bench::SharedBottleneck s{8e6, 18_ms, /*n_receivers=*/8, /*n_tcp=*/7,
-                            opts.seed_or(161)};
+  const SimTime kRefT = 140_sec;
+  const SimTime T = opts.duration_or(kRefT);
+  bench::SharedBottleneck s{opts.param_or("bottleneck_bps", 8e6), 18_ms,
+                            opts.param_or("n_receivers", 8),
+                            opts.param_or("n_tcp", 7), opts.seed_or(161)};
   LinkConfig slow;
-  slow.rate_bps = 200e3;
+  slow.rate_bps = opts.param_or("slow_bps", 200e3);
   slow.delay = 10_ms;
   slow.queue_limit_packets = 10;
   const NodeId slow_host = s.topo.add_node();
@@ -33,23 +40,26 @@ TFMCC_SCENARIO(fig16_late_join_tcp,
 
   s.start_all();
   slow_tcp.start(1_sec);
-  s.sim.at(50_sec, [&] { s.tfmcc->receiver(late).join(); });
-  s.sim.at(100_sec, [&] { s.tfmcc->receiver(late).leave(); });
+  ScheduleBuilder sched{s.sim, kRefT, T};
+  sched.at(50_sec, [&] { s.tfmcc->receiver(late).join(); });
+  sched.at(100_sec, [&] { s.tfmcc->receiver(late).leave(); });
   s.sim.run_until(T);
 
   CsvWriter csv(std::cout, {"flow", "time_s", "kbps"});
   bench::emit_series(csv, "TFMCC", s.tfmcc->goodput(0), 0_sec, T);
   bench::emit_series(csv, "TCP on 200kbit link", slow_tcp.goodput, 0_sec, T);
 
-  const double tcp_before = slow_tcp.mean_kbps(20_sec, 50_sec);
-  const double tcp_during = slow_tcp.mean_kbps(65_sec, 100_sec);
-  const double tfmcc_during = s.tfmcc->goodput(0).mean_kbps(65_sec, 100_sec);
-  const double tcp_after = slow_tcp.mean_kbps(110_sec, 140_sec);
+  const auto w = [&sched](double sec) { return sched.warped(SimTime::seconds(sec)); };
+  const double tcp_before = slow_tcp.mean_kbps(w(20), w(50));
+  const double tcp_during = slow_tcp.mean_kbps(w(65), w(100));
+  const double tfmcc_during = s.tfmcc->goodput(0).mean_kbps(w(65), w(100));
+  const double tcp_after = slow_tcp.mean_kbps(w(110), w(140));
 
   bench::note("slow TCP kbit/s before=" + std::to_string(tcp_before) +
               " during=" + std::to_string(tcp_during) + " after=" +
               std::to_string(tcp_after) + "; TFMCC during=" +
               std::to_string(tfmcc_during));
+  bench::note_schedule(sched);
   bench::check(tcp_before > 120.0,
                "TCP alone uses most of the 200 kbit/s link before the join");
   bench::check(tcp_during > 30.0,

@@ -11,15 +11,20 @@
 #include "util/csv.hpp"
 
 TFMCC_SCENARIO(fig17_loss_events_per_rtt,
-               "Figure 17: loss events per RTT vs loss event rate") {
+               "Figure 17: loss events per RTT vs loss event rate",
+               tfmcc::param("p_growth", 1.06,
+                            "multiplicative step of the loss-rate sweep",
+                            1.001)) {
   using namespace tfmcc;
 
   bench::figure_header("Figure 17", "Loss events per RTT");
 
+  // The declared minimum (1.001) keeps any accepted override loop-safe.
+  const double p_growth = opts.param_or("p_growth", 1.06);
   CsvWriter csv(std::cout, {"loss_event_rate", "events_per_rtt_b2",
                             "events_per_rtt_b1"});
   double max_b2 = 0.0, argmax_p = 0.0, max_b1 = 0.0;
-  for (double p = 1e-4; p <= 1.0; p *= 1.06) {
+  for (double p = 1e-4; p <= 1.0; p *= p_growth) {
     const double l2 = tcp_model::loss_events_per_rtt(p, 2.0);
     const double l1 = tcp_model::loss_events_per_rtt(p, 1.0);
     csv.row(p, l2, l1);

@@ -21,8 +21,10 @@ struct Result {
   std::vector<double> tcp_kbps;
 };
 
-Result run(bool with_return_traffic, std::uint64_t seed, SimTime horizon) {
-  bench::SharedBottleneck s{5e6, 18_ms, /*n_receivers=*/4, /*n_tcp=*/4, seed};
+Result run(bool with_return_traffic, double bottleneck_bps, std::uint64_t seed,
+           SimTime horizon) {
+  bench::SharedBottleneck s{bottleneck_bps, 18_ms, /*n_receivers=*/4,
+                            /*n_tcp=*/4, seed};
   // Return flows: right-to-left bulk TCP sharing the reverse bottleneck
   // with the ACK/feedback streams; 0/1/2/4 flows rooted at the four
   // receivers' hosts.
@@ -53,7 +55,8 @@ Result run(bool with_return_traffic, std::uint64_t seed, SimTime horizon) {
 }  // namespace
 
 TFMCC_SCENARIO(fig18_return_traffic,
-               "Figure 18: competing bulk TCP on the feedback return paths") {
+               "Figure 18: competing bulk TCP on the feedback return paths",
+               tfmcc::param("bottleneck_bps", 5e6, "forward bottleneck rate", 1e3)) {
   using namespace tfmcc;
   using namespace tfmcc::time_literals;
 
@@ -61,8 +64,9 @@ TFMCC_SCENARIO(fig18_return_traffic,
 
   const SimTime horizon = opts.duration_or(120_sec);
   const std::uint64_t seed = opts.seed_or(181);
-  const Result base = run(false, seed, horizon);
-  const Result loaded = run(true, seed, horizon);
+  const double bottleneck_bps = opts.param_or("bottleneck_bps", 5e6);
+  const Result base = run(false, bottleneck_bps, seed, horizon);
+  const Result loaded = run(true, bottleneck_bps, seed, horizon);
 
   CsvWriter csv(std::cout, {"flow", "no_return_kbps", "with_return_kbps"});
   csv.row("TFMCC", base.tfmcc_kbps, loaded.tfmcc_kbps);

@@ -11,7 +11,12 @@
 #include "scenario_util.hpp"
 
 TFMCC_SCENARIO(fig19_lossy_return,
-               "Figure 19: lossy receiver-report return paths") {
+               "Figure 19: lossy receiver-report return paths",
+               tfmcc::param("return_loss1", 0.0, "report loss, receiver 1", 0.0),
+               tfmcc::param("return_loss2", 0.1, "report loss, receiver 2", 0.0),
+               tfmcc::param("return_loss3", 0.2, "report loss, receiver 3", 0.0),
+               tfmcc::param("return_loss4", 0.3, "report loss, receiver 4", 0.0),
+               tfmcc::param("leaf_bps", 5e6, "forward leaf rate", 1e3)) {
   using namespace tfmcc;
   using namespace tfmcc::time_literals;
 
@@ -19,7 +24,9 @@ TFMCC_SCENARIO(fig19_lossy_return,
 
   const SimTime T = opts.duration_or(120_sec);
   const SimTime warm = bench::warmup(30_sec, T);
-  const double kReturnLoss[4] = {0.0, 0.1, 0.2, 0.3};
+  const double kReturnLoss[4] = {
+      opts.param_or("return_loss1", 0.0), opts.param_or("return_loss2", 0.1),
+      opts.param_or("return_loss3", 0.2), opts.param_or("return_loss4", 0.3)};
   Simulator sim{opts.seed_or(191)};
   Topology topo{sim};
   LinkConfig trunk;
@@ -35,7 +42,7 @@ TFMCC_SCENARIO(fig19_lossy_return,
     topo.add_duplex_link(tcp_src[static_cast<size_t>(i)], hub, trunk);
     leaf[static_cast<size_t>(i)] = topo.add_node();
     LinkConfig fwd;
-    fwd.rate_bps = 5e6;
+    fwd.rate_bps = opts.param_or("leaf_bps", 5e6);
     fwd.delay = 20_ms;
     LinkConfig rev = fwd;
     rev.loss_rate = kReturnLoss[static_cast<size_t>(i)];

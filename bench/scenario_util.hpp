@@ -11,6 +11,7 @@
 
 #include "bench_util.hpp"
 #include "net/builders.hpp"
+#include "sim/schedule.hpp"
 #include "sim/simulator.hpp"
 #include "tcp/tcp.hpp"
 #include "tfmcc/flow.hpp"
@@ -81,6 +82,17 @@ struct SharedBottleneck {
   std::unique_ptr<TfmccFlow> tfmcc;
   std::vector<std::unique_ptr<TcpFlow>> tcp;
 };
+
+/// Post-run summary of a scripted schedule.  Silent at the default horizon
+/// (warp factor 1), so default runs stay byte-identical; in a warped run it
+/// reports how much of the script actually executed, which the smoke tests
+/// assert on.
+inline void note_schedule(const ScheduleBuilder& sched) {
+  if (sched.warp().is_identity()) return;
+  note("schedule: fired " + std::to_string(sched.fired()) + "/" +
+       std::to_string(sched.scheduled()) + " scripted events at warp factor " +
+       std::to_string(sched.warp().factor()));
+}
 
 /// Coefficient of variation of a goodput trace in [from, to).
 inline double trace_cov(const ThroughputBinner& binner, SimTime from,

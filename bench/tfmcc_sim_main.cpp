@@ -4,6 +4,7 @@
 //
 //   $ tfmcc_sim --list
 //   $ tfmcc_sim fig09_single_bottleneck --duration 5 --seed 7
+//   $ tfmcc_sim fig09_single_bottleneck --set n_tcp=4 --set bottleneck_bps=2e6
 //
 // A scenario run produces byte-identical output to the corresponding
 // standalone bench binary invoked with the same options.
@@ -17,7 +18,11 @@ namespace {
 
 void print_usage(std::ostream& os) {
   os << "usage: tfmcc_sim --list\n"
-        "       tfmcc_sim <scenario> [--duration <seconds>] [--seed <n>]\n";
+        "       tfmcc_sim <scenario> [--duration <seconds>] [--seed <n>]\n"
+        "                            [--set key=value]...\n"
+        "`--list` shows each scenario's tunable parameters with their paper\n"
+        "defaults; `--set` overrides them.  Scenarios with scripted event\n"
+        "schedules rescale the script proportionally under --duration.\n";
 }
 
 void print_list() {
@@ -25,6 +30,11 @@ void print_list() {
   for (const auto& name : reg.names()) {
     const tfmcc::Scenario* s = reg.find(name);
     std::cout << name << "\t" << s->description << "\n";
+    for (const auto& p : s->params) {
+      std::cout << "  --set " << p.name << "=" << p.default_value << "\t("
+                << tfmcc::param_type_name(p.type) << ") " << p.description
+                << "\n";
+    }
   }
 }
 

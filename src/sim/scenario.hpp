@@ -8,6 +8,11 @@
 // The same translation units still build as standalone per-figure binaries
 // (with TFMCC_BENCH_STANDALONE defined) whose main() goes through the exact
 // same scenario function, keeping the CSV output schema identical.
+//
+// Scenarios declare their tunable knobs as typed ParamSpecs in the
+// registration macro; the driver surfaces them in `--list`, validates
+// `--set key=value` overrides against them before running, and the scenario
+// reads them back through ScenarioOptions::param_or<T>().
 
 #include <cstdint>
 #include <iosfwd>
@@ -21,6 +26,40 @@
 
 namespace tfmcc {
 
+/// Declared type of a scenario parameter; drives the pre-run validation of
+/// `--set` overrides and the rendering of defaults in `--list`.
+enum class ParamType { kInt64, kUint64, kDouble, kBool, kString };
+
+/// One declared scenario knob: its name, type, printable default, a
+/// one-line description for `--list`, and an optional lower bound enforced
+/// by pre-run validation (scenarios index arrays and drive loops with these
+/// values, so "well-typed" alone is not "safe").
+struct ParamSpec {
+  std::string name;
+  ParamType type{ParamType::kDouble};
+  std::string default_value;
+  std::string description;
+  std::optional<double> min;
+};
+
+using ParamSpecList = std::vector<ParamSpec>;
+
+std::string_view param_type_name(ParamType t);
+
+/// ParamSpec builders used inside TFMCC_SCENARIO registrations; the overload
+/// picks the declared type from the default's C++ type.  `min` is the lowest
+/// accepted override value (inclusive).
+ParamSpec param(std::string name, std::int64_t dflt, std::string description,
+                std::optional<double> min = std::nullopt);
+ParamSpec param(std::string name, int dflt, std::string description,
+                std::optional<double> min = std::nullopt);
+ParamSpec param(std::string name, std::uint64_t dflt, std::string description,
+                std::optional<double> min = std::nullopt);
+ParamSpec param(std::string name, double dflt, std::string description,
+                std::optional<double> min = std::nullopt);
+ParamSpec param(std::string name, bool dflt, std::string description);
+ParamSpec param(std::string name, const char* dflt, std::string description);
+
 /// Options handed to every scenario, parsed from the command line.  Absent
 /// options fall back to the per-scenario paper defaults via *_or(), so a bare
 /// invocation reproduces the figure exactly as published.
@@ -32,7 +71,51 @@ struct ScenarioOptions {
   std::uint64_t seed_or(std::uint64_t dflt) const {
     return seed.value_or(dflt);
   }
+
+  /// Record one `--set key=value` override (last write wins).
+  void set_param(std::string key, std::string value);
+  bool has_param(std::string_view key) const;
+  const std::map<std::string, std::string, std::less<>>& params() const {
+    return params_;
+  }
+
+  /// Typed access to an override: the declared default when the key is
+  /// absent, the coerced value when present and well-formed, and the default
+  /// again when the value does not coerce (pre-run validation against the
+  /// scenario's ParamSpecs reports that case before the scenario runs).
+  /// Supported T: bool, int, std::int64_t, std::uint64_t, double,
+  /// std::string.
+  template <typename T>
+  T param_or(std::string_view name, T dflt) const;
+  std::string param_or(std::string_view name, const char* dflt) const;
+
+ private:
+  std::map<std::string, std::string, std::less<>> params_;
 };
+
+// The supported param_or instantiations live in scenario_registry.cpp; the
+// declarations here make any unsupported T a link-time error instead of an
+// implicit-instantiation failure.
+template <>
+bool ScenarioOptions::param_or<bool>(std::string_view, bool) const;
+template <>
+int ScenarioOptions::param_or<int>(std::string_view, int) const;
+template <>
+std::int64_t ScenarioOptions::param_or<std::int64_t>(std::string_view,
+                                                     std::int64_t) const;
+template <>
+std::uint64_t ScenarioOptions::param_or<std::uint64_t>(std::string_view,
+                                                       std::uint64_t) const;
+template <>
+double ScenarioOptions::param_or<double>(std::string_view, double) const;
+template <>
+std::string ScenarioOptions::param_or<std::string>(std::string_view,
+                                                   std::string) const;
+
+inline std::string ScenarioOptions::param_or(std::string_view name,
+                                             const char* dflt) const {
+  return param_or<std::string>(name, std::string{dflt});
+}
 
 using ScenarioFn = int (*)(const ScenarioOptions&);
 
@@ -40,7 +123,16 @@ struct Scenario {
   std::string name;
   std::string description;
   ScenarioFn fn{nullptr};
+  ParamSpecList params;
+
+  const ParamSpec* find_param(std::string_view pname) const;
 };
+
+/// Checks every `--set` override against the scenario's declared ParamSpecs:
+/// unknown keys and values that do not coerce to the declared type are
+/// diagnosed on `err`.  Returns true when all overrides are valid.
+bool validate_scenario_params(const Scenario& scenario,
+                              const ScenarioOptions& opts, std::ostream& err);
 
 class ScenarioRegistry {
  public:
@@ -49,7 +141,8 @@ class ScenarioRegistry {
 
   /// Returns true when newly added; a duplicate name keeps the first
   /// registration and returns false.
-  bool add(std::string name, std::string description, ScenarioFn fn);
+  bool add(std::string name, std::string description, ScenarioFn fn,
+           ParamSpecList params = {});
 
   /// Nullptr when no scenario is registered under `name`.
   const Scenario* find(std::string_view name) const;
@@ -58,7 +151,8 @@ class ScenarioRegistry {
   std::size_t size() const { return scenarios_.size(); }
 
   /// Runs the named scenario and returns its exit code, or -1 (after writing
-  /// a diagnostic and the known names to `err`) when the name is unknown.
+  /// a diagnostic to `err`) when the name is unknown or a `--set` override
+  /// fails validation against the scenario's declared parameters.
   int run(std::string_view name, const ScenarioOptions& opts,
           std::ostream& err) const;
 
@@ -66,8 +160,9 @@ class ScenarioRegistry {
   std::map<std::string, Scenario, std::less<>> scenarios_;
 };
 
-/// Parses `--duration <seconds>` / `--seed <n>` pairs.  Returns false and
-/// writes a diagnostic to `err` on unknown flags or malformed values.
+/// Parses `--duration <seconds>` / `--seed <n>` / `--set key=value` triples.
+/// Returns false and writes a diagnostic to `err` on unknown flags or
+/// malformed values.
 bool parse_scenario_options(int argc, char** argv, ScenarioOptions& opts,
                             std::ostream& err);
 
@@ -86,17 +181,21 @@ int run_scenario_main(const char* name, int argc, char** argv);
 #define TFMCC_SCENARIO_DEFINE_MAIN(ident)
 #endif
 
-/// Defines and registers a scenario function:
-///   TFMCC_SCENARIO(fig09_single_bottleneck, "Figure 9: ...") {
+/// Defines and registers a scenario function; optional trailing arguments
+/// declare its tunable parameters:
+///   TFMCC_SCENARIO(fig09_single_bottleneck, "Figure 9: ...",
+///                  tfmcc::param("n_tcp", 15, "competing TCP flows")) {
 ///     const SimTime T = opts.duration_or(200_sec);
+///     const int n_tcp = opts.param_or("n_tcp", 15);
 ///     ...
 ///     return 0;
 ///   }
-#define TFMCC_SCENARIO(ident, desc)                                       \
-  static int tfmcc_scenario_##ident(const ::tfmcc::ScenarioOptions&);     \
-  [[maybe_unused]] static const bool tfmcc_scenario_reg_##ident =         \
-      ::tfmcc::ScenarioRegistry::instance().add(#ident, desc,             \
-                                                &tfmcc_scenario_##ident); \
-  TFMCC_SCENARIO_DEFINE_MAIN(ident)                                       \
-  static int tfmcc_scenario_##ident(                                      \
+#define TFMCC_SCENARIO(ident, desc, ...)                                   \
+  static int tfmcc_scenario_##ident(const ::tfmcc::ScenarioOptions&);      \
+  [[maybe_unused]] static const bool tfmcc_scenario_reg_##ident =          \
+      ::tfmcc::ScenarioRegistry::instance().add(                           \
+          #ident, desc, &tfmcc_scenario_##ident,                           \
+          ::tfmcc::ParamSpecList{__VA_ARGS__});                            \
+  TFMCC_SCENARIO_DEFINE_MAIN(ident)                                        \
+  static int tfmcc_scenario_##ident(                                       \
       [[maybe_unused]] const ::tfmcc::ScenarioOptions& opts)

@@ -2,11 +2,258 @@
 
 #include <charconv>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <limits>
 #include <string>
 
 namespace tfmcc {
+
+namespace {
+
+bool parse_f64(std::string_view text, double& out) {
+  // std::from_chars for double is flaky across stdlibs; strtod is enough here.
+  std::string buf{text};
+  char* end = nullptr;
+  out = std::strtod(buf.c_str(), &end);
+  return end == buf.c_str() + buf.size() && !buf.empty();
+}
+
+bool parse_u64(std::string_view text, std::uint64_t& out) {
+  auto [p, ec] = std::from_chars(text.data(), text.data() + text.size(), out);
+  if (ec == std::errc{} && p == text.data() + text.size()) return true;
+  // Accept scientific/decimal spellings of whole numbers ("2e6", "1000.0")
+  // so link rates and receiver counts read naturally on the command line.
+  double d = 0;
+  if (!parse_f64(text, d) || !std::isfinite(d) || d < 0.0 ||
+      d > 1.8e19 || d != std::floor(d)) {
+    return false;
+  }
+  out = static_cast<std::uint64_t>(d);
+  return true;
+}
+
+bool parse_i64(std::string_view text, std::int64_t& out) {
+  auto [p, ec] = std::from_chars(text.data(), text.data() + text.size(), out);
+  if (ec == std::errc{} && p == text.data() + text.size()) return true;
+  double d = 0;
+  if (!parse_f64(text, d) || !std::isfinite(d) || std::fabs(d) > 9.0e18 ||
+      d != std::floor(d)) {
+    return false;
+  }
+  out = static_cast<std::int64_t>(d);
+  return true;
+}
+
+bool parse_bool(std::string_view text, bool& out) {
+  if (text == "1" || text == "true" || text == "on" || text == "yes") {
+    out = true;
+    return true;
+  }
+  if (text == "0" || text == "false" || text == "off" || text == "no") {
+    out = false;
+    return true;
+  }
+  return false;
+}
+
+/// True when `value` coerces to the declared parameter type; for numeric
+/// types the coerced value is also written to `numeric`.
+bool value_coerces(ParamType type, std::string_view value, double& numeric) {
+  switch (type) {
+    case ParamType::kInt64: {
+      std::int64_t i;
+      if (!parse_i64(value, i)) return false;
+      numeric = static_cast<double>(i);
+      return true;
+    }
+    case ParamType::kUint64: {
+      std::uint64_t u;
+      if (!parse_u64(value, u)) return false;
+      numeric = static_cast<double>(u);
+      return true;
+    }
+    case ParamType::kDouble: {
+      double d;
+      if (!parse_f64(value, d) || !std::isfinite(d)) return false;
+      numeric = d;
+      return true;
+    }
+    case ParamType::kBool: {
+      bool b;
+      return parse_bool(value, b);
+    }
+    case ParamType::kString:
+      return true;
+  }
+  return false;
+}
+
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string_view param_type_name(ParamType t) {
+  switch (t) {
+    case ParamType::kInt64:
+      return "int";
+    case ParamType::kUint64:
+      return "uint";
+    case ParamType::kDouble:
+      return "double";
+    case ParamType::kBool:
+      return "bool";
+    case ParamType::kString:
+      return "string";
+  }
+  return "?";
+}
+
+ParamSpec param(std::string name, std::int64_t dflt, std::string description,
+                std::optional<double> min) {
+  return {std::move(name), ParamType::kInt64, std::to_string(dflt),
+          std::move(description), min};
+}
+
+ParamSpec param(std::string name, int dflt, std::string description,
+                std::optional<double> min) {
+  return param(std::move(name), static_cast<std::int64_t>(dflt),
+               std::move(description), min);
+}
+
+ParamSpec param(std::string name, std::uint64_t dflt, std::string description,
+                std::optional<double> min) {
+  return {std::move(name), ParamType::kUint64, std::to_string(dflt),
+          std::move(description), min};
+}
+
+ParamSpec param(std::string name, double dflt, std::string description,
+                std::optional<double> min) {
+  return {std::move(name), ParamType::kDouble, format_double(dflt),
+          std::move(description), min};
+}
+
+ParamSpec param(std::string name, bool dflt, std::string description) {
+  return {std::move(name), ParamType::kBool, dflt ? "true" : "false",
+          std::move(description), std::nullopt};
+}
+
+ParamSpec param(std::string name, const char* dflt, std::string description) {
+  return {std::move(name), ParamType::kString, dflt, std::move(description),
+          std::nullopt};
+}
+
+void ScenarioOptions::set_param(std::string key, std::string value) {
+  params_.insert_or_assign(std::move(key), std::move(value));
+}
+
+bool ScenarioOptions::has_param(std::string_view key) const {
+  return params_.find(key) != params_.end();
+}
+
+template <>
+std::string ScenarioOptions::param_or<std::string>(std::string_view name,
+                                                   std::string dflt) const {
+  auto it = params_.find(name);
+  return it == params_.end() ? dflt : it->second;
+}
+
+template <>
+double ScenarioOptions::param_or<double>(std::string_view name,
+                                         double dflt) const {
+  auto it = params_.find(name);
+  if (it == params_.end()) return dflt;
+  double v = 0;
+  return parse_f64(it->second, v) && std::isfinite(v) ? v : dflt;
+}
+
+template <>
+std::int64_t ScenarioOptions::param_or<std::int64_t>(std::string_view name,
+                                                     std::int64_t dflt) const {
+  auto it = params_.find(name);
+  if (it == params_.end()) return dflt;
+  std::int64_t v = 0;
+  return parse_i64(it->second, v) ? v : dflt;
+}
+
+template <>
+int ScenarioOptions::param_or<int>(std::string_view name, int dflt) const {
+  const std::int64_t v =
+      param_or<std::int64_t>(name, static_cast<std::int64_t>(dflt));
+  if (v < std::numeric_limits<int>::min() ||
+      v > std::numeric_limits<int>::max()) {
+    return dflt;
+  }
+  return static_cast<int>(v);
+}
+
+template <>
+std::uint64_t ScenarioOptions::param_or<std::uint64_t>(
+    std::string_view name, std::uint64_t dflt) const {
+  auto it = params_.find(name);
+  if (it == params_.end()) return dflt;
+  std::uint64_t v = 0;
+  return parse_u64(it->second, v) ? v : dflt;
+}
+
+template <>
+bool ScenarioOptions::param_or<bool>(std::string_view name, bool dflt) const {
+  auto it = params_.find(name);
+  if (it == params_.end()) return dflt;
+  bool v = false;
+  return parse_bool(it->second, v) ? v : dflt;
+}
+
+const ParamSpec* Scenario::find_param(std::string_view pname) const {
+  for (const auto& p : params) {
+    if (p.name == pname) return &p;
+  }
+  return nullptr;
+}
+
+bool validate_scenario_params(const Scenario& scenario,
+                              const ScenarioOptions& opts, std::ostream& err) {
+  bool ok = true;
+  for (const auto& [key, value] : opts.params()) {
+    const ParamSpec* spec = scenario.find_param(key);
+    if (spec == nullptr) {
+      err << "error: unknown parameter '" << key << "' for scenario '"
+          << scenario.name << "'\n";
+      if (scenario.params.empty()) {
+        err << "  (this scenario declares no parameters)\n";
+      } else {
+        err << "  known parameters:\n";
+        for (const auto& p : scenario.params) {
+          err << "    " << p.name << " (" << param_type_name(p.type)
+              << ", default " << p.default_value << ")\n";
+        }
+      }
+      ok = false;
+      continue;
+    }
+    double numeric = 0.0;
+    if (!value_coerces(spec->type, value, numeric)) {
+      err << "error: malformed value '" << value << "' for parameter '" << key
+          << "' (expected " << param_type_name(spec->type) << ", default "
+          << spec->default_value << ")\n";
+      ok = false;
+      continue;
+    }
+    if (spec->min.has_value() && spec->type != ParamType::kBool &&
+        spec->type != ParamType::kString && numeric < *spec->min) {
+      err << "error: value '" << value << "' for parameter '" << key
+          << "' is below the minimum " << format_double(*spec->min)
+          << " (default " << spec->default_value << ")\n";
+      ok = false;
+    }
+  }
+  return ok;
+}
 
 ScenarioRegistry& ScenarioRegistry::instance() {
   static ScenarioRegistry registry;
@@ -14,9 +261,9 @@ ScenarioRegistry& ScenarioRegistry::instance() {
 }
 
 bool ScenarioRegistry::add(std::string name, std::string description,
-                           ScenarioFn fn) {
+                           ScenarioFn fn, ParamSpecList params) {
   auto [it, inserted] = scenarios_.try_emplace(
-      name, Scenario{name, std::move(description), fn});
+      name, Scenario{name, std::move(description), fn, std::move(params)});
   return inserted;
 }
 
@@ -40,25 +287,9 @@ int ScenarioRegistry::run(std::string_view name, const ScenarioOptions& opts,
     for (const auto& n : names()) err << "  " << n << '\n';
     return -1;
   }
+  if (!validate_scenario_params(*s, opts, err)) return -1;
   return s->fn(opts);
 }
-
-namespace {
-
-bool parse_f64(std::string_view text, double& out) {
-  // std::from_chars for double is flaky across stdlibs; strtod is enough here.
-  std::string buf{text};
-  char* end = nullptr;
-  out = std::strtod(buf.c_str(), &end);
-  return end == buf.c_str() + buf.size() && !buf.empty();
-}
-
-bool parse_u64(std::string_view text, std::uint64_t& out) {
-  auto [p, ec] = std::from_chars(text.data(), text.data() + text.size(), out);
-  return ec == std::errc{} && p == text.data() + text.size();
-}
-
-}  // namespace
 
 bool parse_scenario_options(int argc, char** argv, ScenarioOptions& opts,
                             std::ostream& err) {
@@ -85,9 +316,20 @@ bool parse_scenario_options(int argc, char** argv, ScenarioOptions& opts,
       }
       opts.seed = seed;
       ++i;
+    } else if (arg == "--set") {
+      const std::string_view kv = has_value ? std::string_view{argv[i + 1]}
+                                            : std::string_view{};
+      const std::size_t eq = kv.find('=');
+      if (!has_value || eq == std::string_view::npos || eq == 0) {
+        err << "error: --set expects key=value\n";
+        return false;
+      }
+      opts.set_param(std::string{kv.substr(0, eq)},
+                     std::string{kv.substr(eq + 1)});
+      ++i;
     } else {
       err << "error: unknown option '" << arg
-          << "' (expected --duration <s> or --seed <n>)\n";
+          << "' (expected --duration <s>, --seed <n> or --set key=value)\n";
       return false;
     }
   }
@@ -97,7 +339,8 @@ bool parse_scenario_options(int argc, char** argv, ScenarioOptions& opts,
 int run_scenario_main(const char* name, int argc, char** argv) {
   ScenarioOptions opts;
   if (!parse_scenario_options(argc - 1, argv + 1, opts, std::cerr)) return 2;
-  return ScenarioRegistry::instance().run(name, opts, std::cerr);
+  const int rc = ScenarioRegistry::instance().run(name, opts, std::cerr);
+  return rc < 0 ? 2 : rc;
 }
 
 }  // namespace tfmcc

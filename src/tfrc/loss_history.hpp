@@ -55,7 +55,11 @@ class LossHistory {
   void reaggregate(SimTime rtt);
 
   /// Most recent first; index 0 is the newest *closed* interval.
-  const std::deque<double>& intervals() const { return intervals_; }
+  /// Ref-qualified like TimeSeries::points(): chaining intervals() off a
+  /// temporary LossHistory moves the deque out instead of returning a
+  /// reference into the dying temporary (PR 1's dangling pattern).
+  const std::deque<double>& intervals() const& { return intervals_; }
+  std::deque<double> intervals() && { return std::move(intervals_); }
   double open_interval() const { return open_count_; }
 
   /// The TFRC weight profile: 1 for the newest half of the history, then

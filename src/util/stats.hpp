@@ -122,7 +122,11 @@ class Histogram {
   void add(double x);
   std::int64_t count() const { return total_; }
   double quantile(double q) const;
-  const std::vector<std::int64_t>& bins() const { return counts_; }
+  // Ref-qualified like TimeSeries::points(): chaining bins() off a
+  // temporary Histogram moves the vector out instead of returning a
+  // reference into the dying temporary (PR 1's dangling pattern).
+  const std::vector<std::int64_t>& bins() const& { return counts_; }
+  std::vector<std::int64_t> bins() && { return std::move(counts_); }
   double bin_center(std::size_t i) const;
 
  private:

@@ -185,5 +185,26 @@ TEST(LossHistory, ReaggregatePreservesTotalPackets) {
   for (const double iv : h.intervals()) EXPECT_DOUBLE_EQ(iv, 7.0);
 }
 
+LossHistory make_history() {
+  LossHistory h{4};
+  SimTime t = SimTime::zero();
+  for (int k = 0; k < 3; ++k) {
+    for (int i = 0; i < 5; ++i) h.on_packet_received();
+    t += 300_ms;
+    h.on_packet_lost(t, 100_ms);
+  }
+  return h;
+}
+
+// Regression for the PR 1 dangling-temporary pattern (see
+// TimeSeries::points()): iterating intervals() off a by-value result must
+// not reference a destroyed temporary; under ASan the old pattern fails
+// with heap-use-after-free.
+TEST(LossHistory, IntervalsOffATemporaryStayValid) {
+  double sum = 0.0;
+  for (const double iv : make_history().intervals()) sum += iv;
+  EXPECT_GT(sum, 0.0);
+}
+
 }  // namespace
 }  // namespace tfmcc

@@ -136,5 +136,37 @@ TEST(RateConversions, RoundTrip) {
   EXPECT_DOUBLE_EQ(Bps_from_kbps(kbps_from_Bps(777.0)), 777.0);
 }
 
+// Regression for the PR 1 dangling-temporary pattern: accessor chains on a
+// by-value result must move the container out (rvalue overload) instead of
+// returning a reference into a destroyed temporary.  Under ASan the old
+// pattern fails here with heap-use-after-free.
+
+TEST(AccessorChains, SeriesKbpsPointsOffATemporaryStaysValid) {
+  ThroughputBinner binner{SimTime::seconds(1.0)};
+  for (int i = 0; i < 5; ++i) {
+    binner.add(SimTime::seconds(0.5 + i), 125000);
+  }
+  double sum = 0.0;
+  for (const auto& p : binner.series_kbps().points()) sum += p.v;
+  EXPECT_GT(sum, 0.0);
+}
+
+Histogram make_histogram() {
+  Histogram h{0.0, 10.0, 5};
+  h.add(1.0);
+  h.add(9.0);
+  return h;
+}
+
+TEST(AccessorChains, HistogramBinsOffATemporaryStaysValid) {
+  std::int64_t total = 0;
+  for (const std::int64_t c : make_histogram().bins()) total += c;
+  EXPECT_EQ(total, 2);
+  // Lvalue access still returns a reference, not a copy.
+  Histogram h = make_histogram();
+  const auto* first = h.bins().data();
+  EXPECT_EQ(h.bins().data(), first);
+}
+
 }  // namespace
 }  // namespace tfmcc
