@@ -68,7 +68,7 @@ TFMCC_SCENARIO(ablation_clr_memory,
   using tfmcc::bench::figure_header;
   using tfmcc::bench::note;
 
-  figure_header("Ablation", "Appendix C: storing the previous CLR");
+  figure_header(opts.out(), "Ablation", "Appendix C: storing the previous CLR");
 
   const std::uint64_t seed = opts.seed_or(311);
   const double clr_loss = opts.param_or("clr_loss", 0.01);
@@ -78,14 +78,14 @@ TFMCC_SCENARIO(ablation_clr_memory,
   const Outcome without = run(false, clr_loss, burst_loss, warp, seed);
   const Outcome with = run(true, clr_loss, burst_loss, warp, seed);
 
-  tfmcc::CsvWriter csv(std::cout,
+  tfmcc::CsvWriter csv(opts.out(),
                        {"variant", "mean_after_burst_kbps", "clr_switches"});
   csv.row("no_memory", without.mean_after_kbps, without.clr_switches);
   csv.row("with_memory", with.mean_after_kbps, with.clr_switches);
 
-  check(with.mean_after_kbps < without.mean_after_kbps * 1.3,
+  check(opts.out(), with.mean_after_kbps < without.mean_after_kbps * 1.3,
         "previous-CLR memory is not less conservative after a transient");
-  note("without memory: " + std::to_string(without.mean_after_kbps) +
+  note(opts.out(), "without memory: " + std::to_string(without.mean_after_kbps) +
        " kbit/s, " + std::to_string(without.clr_switches) +
        " switches; with: " + std::to_string(with.mean_after_kbps) +
        " kbit/s, " + std::to_string(with.clr_switches) + " switches");

@@ -61,7 +61,7 @@ TFMCC_SCENARIO(ablation_loss_history,
   using tfmcc::bench::note;
   namespace sc = tfmcc::scaling;
 
-  figure_header("Ablation", "Loss-history depth: smoothness vs responsiveness");
+  figure_header(opts.out(), "Ablation", "Loss-history depth: smoothness vs responsiveness");
 
   const std::uint64_t seed = opts.seed_or(301);
   const int n_receivers = opts.param_or("n_receivers", 1000);
@@ -71,7 +71,7 @@ TFMCC_SCENARIO(ablation_loss_history,
   sc::ModelConfig mc;
   mc.trials = opts.param_or("trials", 150);
   tfmcc::Rng rng{seed + 30};
-  tfmcc::CsvWriter csv(std::cout, {"metric", "depth", "value"});
+  tfmcc::CsvWriter csv(opts.out(), {"metric", "depth", "value"});
   double rate_d2 = 0, rate_d32 = 0;
   for (int depth : {2, 8, 32}) {
     mc.history_depth = depth;
@@ -88,11 +88,11 @@ TFMCC_SCENARIO(ablation_loss_history,
   csv.row("adapt_to_4x_loss_seconds", 8, t8);
   csv.row("adapt_to_4x_loss_seconds", 32, t32);
 
-  check(rate_d32 > rate_d2,
+  check(opts.out(), rate_d32 > rate_d2,
         "deeper history mitigates the multi-receiver degradation");
-  check(t8 <= t32 + 1.0,
+  check(opts.out(), t8 <= t32 + 1.0,
         "shallower history reacts at least as fast to new congestion");
-  note("depth 8 adapts in " + std::to_string(t8) + "s, depth 32 in " +
+  note(opts.out(), "depth 8 adapts in " + std::to_string(t8) + "s, depth 32 in " +
        std::to_string(t32) + "s");
   return 0;
 }

@@ -59,7 +59,7 @@ TFMCC_SCENARIO(ablation_red_queue,
   using tfmcc::bench::figure_header;
   using tfmcc::bench::note;
 
-  figure_header("Ablation", "Drop-tail vs RED at the bottleneck");
+  figure_header(opts.out(), "Ablation", "Drop-tail vs RED at the bottleneck");
 
   const tfmcc::SimTime horizon = opts.duration_or(180_sec);
   const std::uint64_t seed = opts.seed_or(321);
@@ -70,13 +70,13 @@ TFMCC_SCENARIO(ablation_red_queue,
   const double red =
       fairness_distance(true, n_tcp, bottleneck_bps, seed, horizon);
 
-  tfmcc::CsvWriter csv(std::cout, {"queue", "abs_log_fairness_ratio"});
+  tfmcc::CsvWriter csv(opts.out(), {"queue", "abs_log_fairness_ratio"});
   csv.row("droptail", droptail);
   csv.row("red", red);
 
-  check(red < droptail + 0.35,
+  check(opts.out(), red < droptail + 0.35,
         "RED does not worsen TFMCC/TCP fairness (paper: it improves it)");
-  note("fairness distance |log ratio|: droptail " + std::to_string(droptail) +
+  note(opts.out(), "fairness distance |log ratio|: droptail " + std::to_string(droptail) +
        ", RED " + std::to_string(red));
   return 0;
 }

@@ -12,24 +12,29 @@
 // of the scenarios linked into the unified `tfmcc_sim` driver.
 
 #include <algorithm>
-#include <cstdio>
+#include <ostream>
 #include <string>
 
 #include "sim/scenario.hpp"
 
 namespace tfmcc::bench {
 
-inline void figure_header(const char* figure, const char* title) {
-  std::printf("# %s: %s\n", figure, title);
+// All three emitters take the scenario's output sink explicitly
+// (opts.out() at the call sites) so concurrently running sweep points
+// never interleave on a shared stdout.
+
+inline void figure_header(std::ostream& os, const char* figure,
+                          const char* title) {
+  os << "# " << figure << ": " << title << '\n';
 }
 
-inline bool check(bool ok, const std::string& what) {
-  std::printf("CHECK %s: %s\n", ok ? "PASS" : "DIVERGES", what.c_str());
+inline bool check(std::ostream& os, bool ok, const std::string& what) {
+  os << "CHECK " << (ok ? "PASS" : "DIVERGES") << ": " << what << '\n';
   return ok;
 }
 
-inline void note(const std::string& what) {
-  std::printf("NOTE: %s\n", what.c_str());
+inline void note(std::ostream& os, const std::string& what) {
+  os << "NOTE: " << what << '\n';
 }
 
 /// Warm-up cutoff for steady-state measurement windows: the paper's cutoff,

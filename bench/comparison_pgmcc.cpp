@@ -86,7 +86,7 @@ TFMCC_SCENARIO(comparison_pgmcc,
   using tfmcc::bench::figure_header;
   using tfmcc::bench::note;
 
-  figure_header("Comparison (§5)", "TFMCC vs PGMCC on a 2 Mbit/s bottleneck");
+  figure_header(opts.out(), "Comparison (§5)", "TFMCC vs PGMCC on a 2 Mbit/s bottleneck");
 
   const tfmcc::SimTime horizon = opts.duration_or(300_sec);
   const std::uint64_t seed = opts.seed_or(501);
@@ -95,17 +95,17 @@ TFMCC_SCENARIO(comparison_pgmcc,
   const Run tfmcc_run = run_tfmcc(n_receivers, bottleneck_bps, seed, horizon);
   const Run pgmcc_run = run_pgmcc(n_receivers, bottleneck_bps, seed, horizon);
 
-  tfmcc::CsvWriter csv(std::cout, {"protocol", "mean_kbps", "cov"});
+  tfmcc::CsvWriter csv(opts.out(), {"protocol", "mean_kbps", "cov"});
   csv.row("TFMCC", tfmcc_run.mean_kbps, tfmcc_run.cov);
   csv.row("PGMCC", pgmcc_run.mean_kbps, pgmcc_run.cov);
 
-  check(tfmcc_run.mean_kbps > 0.3 * pgmcc_run.mean_kbps &&
+  check(opts.out(), tfmcc_run.mean_kbps > 0.3 * pgmcc_run.mean_kbps &&
             tfmcc_run.mean_kbps < 3.0 * pgmcc_run.mean_kbps,
         "both schemes achieve comparable medium-term throughput");
-  check(tfmcc_run.cov < pgmcc_run.cov,
+  check(opts.out(), tfmcc_run.cov < pgmcc_run.cov,
         "TFMCC's equation-based rate is smoother than PGMCC's window "
         "sawtooth");
-  note("TFMCC " + std::to_string(tfmcc_run.mean_kbps) + " kbit/s CoV " +
+  note(opts.out(), "TFMCC " + std::to_string(tfmcc_run.mean_kbps) + " kbit/s CoV " +
        std::to_string(tfmcc_run.cov) + "; PGMCC " +
        std::to_string(pgmcc_run.mean_kbps) + " kbit/s CoV " +
        std::to_string(pgmcc_run.cov));

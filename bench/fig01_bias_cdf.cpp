@@ -20,7 +20,7 @@ TFMCC_SCENARIO(fig01_bias_cdf,
   using namespace tfmcc;
   namespace ft = feedback_timer;
 
-  bench::figure_header("Figure 1", "Different feedback biasing methods (CDF)");
+  bench::figure_header(opts.out(), "Figure 1", "Different feedback biasing methods (CDF)");
 
   const double kT = 4.0;  // RTTs
   // Strongly-biased regime by default (calc rate well below send rate).
@@ -34,7 +34,7 @@ TFMCC_SCENARIO(fig01_bias_cdf,
   FeedbackTimerConfig n_cfg;
   n_cfg.method = BiasMethod::kModifiedN;
 
-  CsvWriter csv(std::cout, {"time_rtts", "exponential", "offset", "modified_n"});
+  CsvWriter csv(opts.out(), {"time_rtts", "exponential", "offset", "modified_n"});
   double p_exp_early = 0, p_n_early = 0;
   for (int i = 0; i <= kPoints; ++i) {
     const double t_rtts = kT * i / kPoints;
@@ -49,12 +49,12 @@ TFMCC_SCENARIO(fig01_bias_cdf,
     }
   }
 
-  bench::check(p_n_early > 4.0 * p_exp_early,
+  bench::check(opts.out(), p_n_early > 4.0 * p_exp_early,
                "modified-N shifts the CDF up (many more early responses)");
-  bench::check(ft::cdf(0.0, kX, off_cfg) <= ft::cdf(0.0, kX, exp_cfg) + 1e-12,
+  bench::check(opts.out(), ft::cdf(0.0, kX, off_cfg) <= ft::cdf(0.0, kX, exp_cfg) + 1e-12,
                "offset bias does not increase the immediate-response mass");
   const double off_start = off_cfg.zeta * kX;
-  bench::check(ft::cdf(off_start * 0.99, kX, off_cfg) == 0.0,
+  bench::check(opts.out(), ft::cdf(off_start * 0.99, kX, off_cfg) == 0.0,
                "offset method delays the response window start by zeta*x*T");
   return 0;
 }

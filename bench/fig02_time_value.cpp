@@ -21,7 +21,7 @@ TFMCC_SCENARIO(fig02_time_value,
   using namespace tfmcc;
   namespace fr = feedback_round;
 
-  bench::figure_header("Figure 2", "Time-value distribution of one round");
+  bench::figure_header(opts.out(), "Figure 2", "Time-value distribution of one round");
 
   const int kReceivers = opts.param_or("n_receivers", 10000);
   const std::uint64_t seed = opts.seed_or(42);
@@ -38,7 +38,7 @@ TFMCC_SCENARIO(fig02_time_value,
   const auto res_normal = fr::simulate(values, normal, r1, true);
   const auto res_offset = fr::simulate(values, offset, r2, true);
 
-  CsvWriter csv(std::cout, {"variant", "time_rtts", "value", "state"});
+  CsvWriter csv(opts.out(), {"variant", "time_rtts", "value", "state"});
   auto emit = [&](const char* variant, const fr::RoundResult& res) {
     // Print all sent messages and a 1-in-50 sample of suppressed ones (the
     // full scatter is 10000 points per variant).
@@ -55,12 +55,12 @@ TFMCC_SCENARIO(fig02_time_value,
   emit("normal", res_normal);
   emit("offset", res_offset);
 
-  bench::check(res_offset.best_value - res_offset.true_min <
+  bench::check(opts.out(), res_offset.best_value - res_offset.true_min <
                    res_normal.best_value - res_normal.true_min + 1e-9,
                "offset bias brings the best received value closer to optimal");
-  bench::check(res_offset.responses >= res_normal.responses,
+  bench::check(opts.out(), res_offset.responses >= res_normal.responses,
                "biasing costs somewhat more feedback messages");
-  bench::note("normal: " + std::to_string(res_normal.responses) +
+  bench::note(opts.out(), "normal: " + std::to_string(res_normal.responses) +
               " responses, best " + std::to_string(res_normal.best_value) +
               "; offset: " + std::to_string(res_offset.responses) +
               " responses, best " + std::to_string(res_offset.best_value) +

@@ -23,13 +23,13 @@ TFMCC_SCENARIO(fig03_cancellation,
   using namespace tfmcc;
   namespace fr = feedback_round;
 
-  bench::figure_header("Figure 3", "Different feedback cancellation methods");
+  bench::figure_header(opts.out(), "Figure 3", "Different feedback cancellation methods");
 
   const int kTrials = opts.param_or("trials", 25);
   const int n_max = opts.param_or("n_max", 10000);
   Rng root{opts.seed_or(7)};
 
-  CsvWriter csv(std::cout,
+  CsvWriter csv(opts.out(),
                 {"n", "all_suppressed_d1", "ten_pct_d01", "higher_suppressed_d0"});
 
   // "at_10k" values track the largest receiver count actually swept, so a
@@ -60,12 +60,12 @@ TFMCC_SCENARIO(fig03_cancellation,
     if (n == 10) d0_at_10 = avg[2];
   }
 
-  bench::check(d0_at_10k > 2.0 * d0_at_10,
+  bench::check(opts.out(), d0_at_10k > 2.0 * d0_at_10,
                "delta=0 (higher suppressed) grows with n");
-  bench::check(d1_at_10k < 60.0, "delta=1 (all suppressed) stays bounded");
-  bench::check(d01_at_10k < 3.0 * d1_at_10k + 10.0,
+  bench::check(opts.out(), d1_at_10k < 60.0, "delta=1 (all suppressed) stays bounded");
+  bench::check(opts.out(), d01_at_10k < 3.0 * d1_at_10k + 10.0,
                "delta=0.1 only marginally above full suppression");
-  bench::check(d01_at_10k < d0_at_10k,
+  bench::check(opts.out(), d01_at_10k < d0_at_10k,
                "delta=0.1 cheaper than delta=0 at n=10000");
   return 0;
 }

@@ -18,13 +18,13 @@ TFMCC_SCENARIO(fig04_expected_feedback,
                             "sender's receiver-count estimate N", 1.0)) {
   using namespace tfmcc;
 
-  bench::figure_header("Figure 4", "Expected number of feedback messages");
+  bench::figure_header(opts.out(), "Figure 4", "Expected number of feedback messages");
 
   FeedbackTimerConfig cfg;
   cfg.method = BiasMethod::kUnbiased;  // worst case: x identical at all receivers
   cfg.n_estimate = opts.param_or("n_estimate", 10000.0);
 
-  CsvWriter csv(std::cout, {"t_prime_rtts", "n", "expected_messages"});
+  CsvWriter csv(opts.out(), {"t_prime_rtts", "n", "expected_messages"});
   double at_t3_n100 = 0, at_t2_n100000 = 0, at_t6_n10 = 0;
   for (double t_prime : {2.0, 2.5, 3.0, 3.5, 4.0, 4.5, 5.0, 5.5, 6.0}) {
     for (int n : {1, 10, 100, 1000, 10000, 100000}) {
@@ -37,12 +37,12 @@ TFMCC_SCENARIO(fig04_expected_feedback,
     }
   }
 
-  bench::check(at_t3_n100 >= 2.0 && at_t3_n100 <= 40.0,
+  bench::check(opts.out(), at_t3_n100 >= 2.0 && at_t3_n100 <= 40.0,
                "T'=3, n=100: a moderate number of responses (not 1-2, not "
                "an implosion)");
-  bench::check(at_t2_n100000 > 60.0,
+  bench::check(opts.out(), at_t2_n100000 > 60.0,
                "short windows + n >> expectations give many duplicates");
-  bench::check(at_t6_n10 < 6.0,
+  bench::check(opts.out(), at_t6_n10 < 6.0,
                "long windows with few receivers approach a single response");
   return 0;
 }

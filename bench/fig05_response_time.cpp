@@ -20,7 +20,7 @@ TFMCC_SCENARIO(fig05_response_time,
   using namespace tfmcc;
   namespace fr = feedback_round;
 
-  bench::figure_header("Figure 5", "Feedback delay of the biasing methods");
+  bench::figure_header(opts.out(), "Figure 5", "Feedback delay of the biasing methods");
 
   const int kTrials = opts.param_or("trials", 60);
   const int n_max = opts.param_or("n_max", 10000);
@@ -28,7 +28,7 @@ TFMCC_SCENARIO(fig05_response_time,
   const BiasMethod methods[3] = {BiasMethod::kUnbiased, BiasMethod::kOffset,
                                  BiasMethod::kModifiedOffset};
 
-  CsvWriter csv(std::cout,
+  CsvWriter csv(opts.out(),
                 {"n", "unbiased_exponential", "basic_offset", "modified_offset"});
   // first_at_10000 tracks the largest receiver count actually swept.
   double first_at_10 = 0, first_at_10000 = 0;
@@ -57,9 +57,9 @@ TFMCC_SCENARIO(fig05_response_time,
 
   if (n_largest > 10) {
     // Meaningless (trivially equal) when the sweep is capped at n <= 10.
-    bench::check(first_at_10000 < first_at_10,
+    bench::check(opts.out(), first_at_10000 < first_at_10,
                  "response time decreases with the number of receivers");
   }
-  bench::check(first_at_10 < 5.0, "feedback arrives within the round");
+  bench::check(opts.out(), first_at_10 < 5.0, "feedback arrives within the round");
   return 0;
 }

@@ -20,7 +20,7 @@ TFMCC_SCENARIO(fig06_report_quality,
   using namespace tfmcc;
   namespace fr = feedback_round;
 
-  bench::figure_header("Figure 6", "Quality of the reported rate");
+  bench::figure_header(opts.out(), "Figure 6", "Quality of the reported rate");
 
   const int kTrials = opts.param_or("trials", 120);
   const int n_max = opts.param_or("n_max", 10000);
@@ -28,7 +28,7 @@ TFMCC_SCENARIO(fig06_report_quality,
   const BiasMethod methods[3] = {BiasMethod::kUnbiased, BiasMethod::kOffset,
                                  BiasMethod::kModifiedOffset};
 
-  CsvWriter csv(std::cout,
+  CsvWriter csv(opts.out(),
                 {"n", "unbiased_exponential", "basic_offset", "modified_offset"});
   double unbiased_large = 0, offset_large = 0, modified_large = 0;
   int large_count = 0;
@@ -75,11 +75,11 @@ TFMCC_SCENARIO(fig06_report_quality,
   offset_large /= large_count;
   modified_large /= large_count;
 
-  bench::check(unbiased_large > 0.10,
+  bench::check(opts.out(), unbiased_large > 0.10,
                "plain exponential timers report ~20% above the minimum");
-  bench::check(offset_large < 0.5 * unbiased_large,
+  bench::check(opts.out(), offset_large < 0.5 * unbiased_large,
                "offset bias much closer to the true minimum");
-  bench::check(modified_large <= offset_large + 0.01,
+  bench::check(opts.out(), modified_large <= offset_large + 0.01,
                "modified offset at least as good as the basic offset");
   return 0;
 }

@@ -11,6 +11,7 @@
 // the minimum); EXPERIMENTS.md documents the quantitative difference.
 
 #include <iostream>
+#include <vector>
 
 #include "analysis/scaling.hpp"
 #include "bench_util.hpp"
@@ -23,11 +24,14 @@ TFMCC_SCENARIO(fig07_scaling,
                tfmcc::param("loss_rate", 0.1, "constant-loss case loss rate",
                             1e-6),
                tfmcc::param("n_max", 10000,
-                            "skip receiver counts above this", 1)) {
+                            "skip receiver counts above this", 1),
+               tfmcc::param("n_receivers", 0,
+                            "evaluate this single receiver count instead of "
+                            "the paper ladder 1..10^4 (0 = ladder)", 0)) {
   using namespace tfmcc;
   namespace sc = scaling;
 
-  bench::figure_header("Figure 7", "Scaling under independent loss");
+  bench::figure_header(opts.out(), "Figure 7", "Scaling under independent loss");
 
   sc::ModelConfig cfg;
   cfg.trials = opts.param_or("trials", 150);
@@ -38,11 +42,15 @@ TFMCC_SCENARIO(fig07_scaling,
   const double fair_const_kbps =
       kbps_from_Bps(sc::fair_rate_Bps(sc::constant_losses(1, loss_rate), cfg));
 
-  CsvWriter csv(std::cout,
+  CsvWriter csv(opts.out(),
                 {"n", "constant_kbps", "distrib_kbps", "distrib_fair_kbps"});
+  // A sweep point pins one receiver count; the default is the paper's ladder.
+  const int n_single = opts.param_or("n_receivers", 0);
+  std::vector<int> counts{1, 10, 100, 1000, 10000};
+  if (n_single > 0) counts = {n_single};
   // "at_10k" values track the largest receiver count actually swept.
   double const_at_1 = 0, const_at_10k = 0, strat_ratio_at_10k = 0;
-  for (int n : {1, 10, 100, 1000, 10000}) {
+  for (int n : counts) {
     if (n > n_max) continue;
     const double c_kbps = kbps_from_Bps(sc::expected_min_rate_Bps(
         sc::constant_losses(n, loss_rate), cfg, rng));
@@ -56,13 +64,13 @@ TFMCC_SCENARIO(fig07_scaling,
     strat_ratio_at_10k = s_kbps / s_fair;
   }
 
-  bench::check(const_at_1 > 200 && const_at_1 < 400,
+  bench::check(opts.out(), const_at_1 > 200 && const_at_1 < 400,
                "single receiver at 10% loss, 50 ms RTT: fair rate ~300 kbit/s");
-  bench::check(const_at_10k < const_at_1 / 3.0,
+  bench::check(opts.out(), const_at_10k < const_at_1 / 3.0,
                "constant loss: severe degradation by n = 10^4");
-  bench::check(strat_ratio_at_10k > 0.4,
+  bench::check(opts.out(), strat_ratio_at_10k > 0.4,
                "stratified loss: only mild degradation at n = 10^4");
-  bench::note("fair rate (constant) = " + std::to_string(fair_const_kbps) +
+  bench::note(opts.out(), "fair rate (constant) = " + std::to_string(fair_const_kbps) +
               " kbit/s; measured n=1 " + std::to_string(const_at_1) +
               ", n=10^4 " + std::to_string(const_at_10k) + " kbit/s");
   return 0;

@@ -18,7 +18,7 @@ TFMCC_SCENARIO(fig09_single_bottleneck,
   using namespace tfmcc;
   using namespace tfmcc::time_literals;
 
-  bench::figure_header("Figure 9",
+  bench::figure_header(opts.out(), "Figure 9",
                        "1 TFMCC + 15 TCP over a single 8 Mbit/s bottleneck");
 
   const SimTime T = opts.duration_or(200_sec);
@@ -31,7 +31,7 @@ TFMCC_SCENARIO(fig09_single_bottleneck,
   s.start_all();
   s.sim.run_until(T);
 
-  CsvWriter csv(std::cout, {"flow", "time_s", "kbps"});
+  CsvWriter csv(opts.out(), {"flow", "time_s", "kbps"});
   bench::emit_series(csv, "TFMCC", s.tfmcc->goodput(0), warmup, T);
   bench::emit_series(csv, "TCP 1", s.tcp[0]->goodput, warmup, T);
   if (n_tcp > 1) {
@@ -45,12 +45,12 @@ TFMCC_SCENARIO(fig09_single_bottleneck,
   for (const auto& t : s.tcp) cov_tcp += bench::trace_cov(t->goodput, warmup, T);
   cov_tcp /= static_cast<double>(s.tcp.size());
 
-  bench::note("TFMCC " + std::to_string(tfmcc_kbps) + " kbit/s vs TCP avg " +
+  bench::note(opts.out(), "TFMCC " + std::to_string(tfmcc_kbps) + " kbit/s vs TCP avg " +
               std::to_string(tcp_kbps) + " kbit/s (fair share 500); CoV " +
               std::to_string(cov_tfmcc) + " vs " + std::to_string(cov_tcp));
-  bench::check(tfmcc_kbps > tcp_kbps / 2.5 && tfmcc_kbps < tcp_kbps * 2.5,
+  bench::check(opts.out(), tfmcc_kbps > tcp_kbps / 2.5 && tfmcc_kbps < tcp_kbps * 2.5,
                "TFMCC average close to the average TCP throughput");
-  bench::check(cov_tfmcc < cov_tcp,
+  bench::check(opts.out(), cov_tfmcc < cov_tcp,
                "TFMCC achieves a smoother rate than TCP");
   return 0;
 }

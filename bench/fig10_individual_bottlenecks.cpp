@@ -15,7 +15,7 @@ TFMCC_SCENARIO(fig10_individual_bottlenecks,
   using namespace tfmcc;
   using namespace tfmcc::time_literals;
 
-  bench::figure_header("Figure 10",
+  bench::figure_header(opts.out(), "Figure 10",
                        "1 TFMCC vs 16 TCP flows on individual 1 Mbit/s tails");
 
   const SimTime T = opts.duration_or(200_sec);
@@ -59,7 +59,7 @@ TFMCC_SCENARIO(fig10_individual_bottlenecks,
   for (int i = 0; i < kTails; ++i) tcp[static_cast<size_t>(i)]->start(SimTime::millis(41 * i));
   sim.run_until(T);
 
-  CsvWriter csv(std::cout, {"flow", "time_s", "kbps"});
+  CsvWriter csv(opts.out(), {"flow", "time_s", "kbps"});
   bench::emit_series(csv, "TFMCC", tfmcc.goodput(0), warmup, T);
   bench::emit_series(csv, "TCP 1", tcp[0]->goodput, warmup, T);
   if (kTails > 1) {
@@ -72,11 +72,11 @@ TFMCC_SCENARIO(fig10_individual_bottlenecks,
   tcp_kbps /= kTails;
 
   const double ratio = tfmcc_kbps / tcp_kbps;
-  bench::note("TFMCC " + std::to_string(tfmcc_kbps) + " kbit/s, TCP avg " +
+  bench::note(opts.out(), "TFMCC " + std::to_string(tfmcc_kbps) + " kbit/s, TCP avg " +
               std::to_string(tcp_kbps) + " kbit/s, ratio " +
               std::to_string(ratio) + " (paper: ~0.7)");
-  bench::check(ratio < 1.0,
+  bench::check(opts.out(), ratio < 1.0,
                "independent tail bottlenecks degrade TFMCC below TCP");
-  bench::check(ratio > 0.3, "degradation is bounded (no collapse)");
+  bench::check(opts.out(), ratio > 0.3, "degradation is bounded (no collapse)");
   return 0;
 }

@@ -22,7 +22,7 @@ TFMCC_SCENARIO(fig11_loss_responsiveness,
   using namespace tfmcc;
   using namespace tfmcc::time_literals;
 
-  bench::figure_header("Figure 11", "Responsiveness to changes in loss rate");
+  bench::figure_header(opts.out(), "Figure 11", "Responsiveness to changes in loss rate");
 
   // The join/leave schedule is scripted on the paper's 400 s timeline and
   // rescaled proportionally onto the requested horizon, so short runs still
@@ -81,7 +81,7 @@ TFMCC_SCENARIO(fig11_loss_responsiveness,
   }
   sim.run_until(T);
 
-  CsvWriter csv(std::cout, {"flow", "time_s", "kbps"});
+  CsvWriter csv(opts.out(), {"flow", "time_s", "kbps"});
   bench::emit_series(csv, "TFMCC", tfmcc.goodput(0), 0_sec, T);
   for (int i = 0; i < 4; ++i) {
     bench::emit_series(csv, "TCP " + std::to_string(i + 1),
@@ -97,19 +97,19 @@ TFMCC_SCENARIO(fig11_loss_responsiveness,
   const double e3 = tfmcc.goodput(0).mean_kbps(w(210), w(250));   // + r3
   const double back = tfmcc.goodput(0).mean_kbps(w(370), w(400)); // only r0
 
-  bench::note("epoch means (kbit/s): r0=" + std::to_string(e0) +
+  bench::note(opts.out(), "epoch means (kbit/s): r0=" + std::to_string(e0) +
               " +r1=" + std::to_string(e1) + " +r2=" + std::to_string(e2) +
               " +r3=" + std::to_string(e3) + " after leaves=" +
               std::to_string(back));
-  bench::note_schedule(sched);
-  bench::check(e1 < e0 && e2 < e1 && e3 < e2,
+  bench::note_schedule(opts.out(), sched);
+  bench::check(opts.out(), e1 < e0 && e2 < e1 && e3 < e2,
                "each join steps the rate down to the new worst receiver");
-  bench::check(back > 2.0 * e3, "rate recovers after the lossy receivers leave");
+  bench::check(opts.out(), back > 2.0 * e3, "rate recovers after the lossy receivers leave");
   const double tcp3 = tcp[3]->mean_kbps(w(210), w(250));
-  bench::check(e3 > tcp3 / 3.0 && e3 < tcp3 * 3.0,
+  bench::check(opts.out(), e3 > tcp3 / 3.0 && e3 < tcp3 * 3.0,
                "TFMCC tracks the 12.5%-loss receiver's TCP-fair rate");
   const double tcp2 = tcp[2]->mean_kbps(w(160), w(200));
-  bench::check(e2 > tcp2 / 3.0 && e2 < tcp2 * 3.0,
+  bench::check(opts.out(), e2 > tcp2 / 3.0 && e2 < tcp2 * 3.0,
                "TFMCC tracks the 2.5%-loss receiver's TCP-fair rate");
   return 0;
 }

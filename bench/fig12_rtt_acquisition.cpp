@@ -20,7 +20,7 @@ TFMCC_SCENARIO(fig12_rtt_acquisition,
   using namespace tfmcc;
   using namespace tfmcc::time_literals;
 
-  bench::figure_header("Figure 12", "Rate of initial RTT measurements");
+  bench::figure_header(opts.out(), "Figure 12", "Rate of initial RTT measurements");
 
   const int horizon_s =
       static_cast<int>(opts.duration_or(200_sec).to_seconds());
@@ -58,7 +58,7 @@ TFMCC_SCENARIO(fig12_rtt_acquisition,
   for (int i = 0; i < kReceivers; ++i) flow.add_joined_receiver(hosts[static_cast<size_t>(i)]);
   flow.sender().start(SimTime::zero());
 
-  CsvWriter csv(std::cout, {"time_s", "receivers_with_valid_rtt"});
+  CsvWriter csv(opts.out(), {"time_s", "receivers_with_valid_rtt"});
   std::vector<int> samples;
   for (int t = 0; t <= horizon_s; t += sample_period) {
     sim.run_until(SimTime::seconds(static_cast<double>(t)));
@@ -76,7 +76,7 @@ TFMCC_SCENARIO(fig12_rtt_acquisition,
   const int early_s = sample_period * static_cast<int>(samples.size() / 10);
 
   const double rounds = std::max(1.0, static_cast<double>(flow.sender().round()));
-  bench::note("rounds: " + std::to_string(flow.sender().round()) +
+  bench::note(opts.out(), "rounds: " + std::to_string(flow.sender().round()) +
               ", feedback messages: " +
               std::to_string(flow.sender().feedback_received()) +
               " (avg " +
@@ -87,13 +87,13 @@ TFMCC_SCENARIO(fig12_rtt_acquisition,
                              static_cast<int>(samples.size() / 2)) +
               "s=" + std::to_string(at_mid) + " @" + std::to_string(horizon_s) +
               "s=" + std::to_string(at_end));
-  bench::check(at_early > 0, "acquisition starts in the first rounds");
-  bench::check(at_mid > at_early && at_end >= at_mid,
+  bench::check(opts.out(), at_early > 0, "acquisition starts in the first rounds");
+  bench::check(opts.out(), at_mid > at_early && at_end >= at_mid,
                "acquisition continues steadily (>= 1 per round)");
-  bench::check(at_early < kReceivers / 4,
+  bench::check(opts.out(), at_early < kReceivers / 4,
                "correlated loss keeps early acquisition gradual: bounded by "
                "the per-round feedback count, not instant");
   const double early_rate = at_early / std::max(1.0, rounds * 0.1);
-  bench::note("early acquisition per round ~ " + std::to_string(early_rate));
+  bench::note(opts.out(), "early acquisition per round ~ " + std::to_string(early_rate));
   return 0;
 }

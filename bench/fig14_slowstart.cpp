@@ -40,13 +40,13 @@ TFMCC_SCENARIO(fig14_slowstart,
   using tfmcc::bench::figure_header;
   using tfmcc::bench::note;
 
-  figure_header("Figure 14", "Maximum slowstart rate");
+  figure_header(opts.out(), "Figure 14", "Maximum slowstart rate");
 
   const tfmcc::SimTime horizon = opts.duration_or(60_sec);
   const std::uint64_t seed = opts.seed_or(141);
   const double base_bps = opts.param_or("base_bps", 1e6);
   const int n_max = opts.param_or("n_max", 512);
-  tfmcc::CsvWriter csv(std::cout,
+  tfmcc::CsvWriter csv(opts.out(),
                        {"n_receivers", "only_tfmcc_kbps", "one_tcp_kbps",
                         "high_statmux_kbps", "fair_rate_kbps"});
   double alone_2 = 0, alone_512 = 0, mux_2 = 0, mux_128 = 0;
@@ -73,19 +73,19 @@ TFMCC_SCENARIO(fig14_slowstart,
     }
   }
 
-  check(alone_2 > 1000.0 && alone_2 < 2800.0,
+  check(opts.out(), alone_2 > 1000.0 && alone_2 < 2800.0,
         "alone: slowstart reaches ~2x the bottleneck bandwidth");
   if (have_512) {
-    check(alone_512 > 800.0,
+    check(opts.out(), alone_512 > 800.0,
           "alone: the overshoot bound is independent of the receiver count");
   }
   if (have_128) {
-    check(mux_128 < mux_2 * 1.2,
+    check(opts.out(), mux_128 < mux_2 * 1.2,
           "high statistical multiplexing: exit rate does not grow with n");
-    check(mux_128 < 2000.0,
+    check(opts.out(), mux_128 < 2000.0,
           "with competition the slowstart rate stays near/below fair");
   }
-  note("alone n=2: " + std::to_string(alone_2) + " kbit/s; n=512: " +
+  note(opts.out(), "alone n=2: " + std::to_string(alone_2) + " kbit/s; n=512: " +
        std::to_string(alone_512) + "; high-mux n=2: " + std::to_string(mux_2) +
        ", n=128: " + std::to_string(mux_128));
   return 0;

@@ -22,7 +22,7 @@ TFMCC_SCENARIO(fig15_late_join,
   using namespace tfmcc;
   using namespace tfmcc::time_literals;
 
-  bench::figure_header("Figure 15", "Late join of a low-rate receiver");
+  bench::figure_header(opts.out(), "Figure 15", "Late join of a low-rate receiver");
 
   // Join at 50 s / leave at 100 s on the paper's 140 s timeline; the script
   // warps proportionally onto the requested horizon.
@@ -47,7 +47,7 @@ TFMCC_SCENARIO(fig15_late_join,
   sched.at(100_sec, [&] { s.tfmcc->receiver(late).leave(); });
   s.sim.run_until(T);
 
-  CsvWriter csv(std::cout, {"flow", "time_s", "kbps"});
+  CsvWriter csv(opts.out(), {"flow", "time_s", "kbps"});
   bench::emit_series(csv, "TFMCC", s.tfmcc->goodput(0), 0_sec, T);
   // Aggregate TCP trace.
   ThroughputBinner agg{1_sec};
@@ -63,13 +63,13 @@ TFMCC_SCENARIO(fig15_late_join,
   const double during = s.tfmcc->goodput(0).mean_kbps(w(60), w(100));
   const double after = s.tfmcc->goodput(0).mean_kbps(w(120), w(140));
 
-  bench::note("TFMCC kbit/s before=" + std::to_string(before) + " during=" +
+  bench::note(opts.out(), "TFMCC kbit/s before=" + std::to_string(before) + " during=" +
               std::to_string(during) + " after=" + std::to_string(after));
-  bench::note_schedule(sched);
-  bench::check(before > 400.0, "before the join TFMCC runs near fair rate");
-  bench::check(during < 320.0 && during > 50.0,
+  bench::note_schedule(opts.out(), sched);
+  bench::check(opts.out(), before > 400.0, "before the join TFMCC runs near fair rate");
+  bench::check(opts.out(), during < 320.0 && during > 50.0,
                "during the join TFMCC settles near the 200 kbit/s tail, "
                "not zero");
-  bench::check(after > 2.0 * during, "rate recovers after the leave");
+  bench::check(opts.out(), after > 2.0 * during, "rate recovers after the leave");
   return 0;
 }

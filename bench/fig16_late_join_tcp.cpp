@@ -19,7 +19,7 @@ TFMCC_SCENARIO(fig16_late_join_tcp,
   using namespace tfmcc;
   using namespace tfmcc::time_literals;
 
-  bench::figure_header("Figure 16", "Additional TCP flow on the slow link");
+  bench::figure_header(opts.out(), "Figure 16", "Additional TCP flow on the slow link");
 
   const SimTime kRefT = 140_sec;
   const SimTime T = opts.duration_or(kRefT);
@@ -45,7 +45,7 @@ TFMCC_SCENARIO(fig16_late_join_tcp,
   sched.at(100_sec, [&] { s.tfmcc->receiver(late).leave(); });
   s.sim.run_until(T);
 
-  CsvWriter csv(std::cout, {"flow", "time_s", "kbps"});
+  CsvWriter csv(opts.out(), {"flow", "time_s", "kbps"});
   bench::emit_series(csv, "TFMCC", s.tfmcc->goodput(0), 0_sec, T);
   bench::emit_series(csv, "TCP on 200kbit link", slow_tcp.goodput, 0_sec, T);
 
@@ -55,18 +55,18 @@ TFMCC_SCENARIO(fig16_late_join_tcp,
   const double tfmcc_during = s.tfmcc->goodput(0).mean_kbps(w(65), w(100));
   const double tcp_after = slow_tcp.mean_kbps(w(110), w(140));
 
-  bench::note("slow TCP kbit/s before=" + std::to_string(tcp_before) +
+  bench::note(opts.out(), "slow TCP kbit/s before=" + std::to_string(tcp_before) +
               " during=" + std::to_string(tcp_during) + " after=" +
               std::to_string(tcp_after) + "; TFMCC during=" +
               std::to_string(tfmcc_during));
-  bench::note_schedule(sched);
-  bench::check(tcp_before > 120.0,
+  bench::note_schedule(opts.out(), sched);
+  bench::check(opts.out(), tcp_before > 120.0,
                "TCP alone uses most of the 200 kbit/s link before the join");
-  bench::check(tcp_during > 30.0,
+  bench::check(opts.out(), tcp_during > 30.0,
                "TCP recovers from the join-flood timeout and keeps a share");
-  bench::check(tfmcc_during > 40.0 && tfmcc_during < 250.0,
+  bench::check(opts.out(), tfmcc_during > 40.0 && tfmcc_during < 250.0,
                "TFMCC shares the slow link instead of starving or flooding");
-  bench::check(tcp_after > tcp_during,
+  bench::check(opts.out(), tcp_after > tcp_during,
                "TCP reclaims bandwidth after the receiver leaves");
   return 0;
 }

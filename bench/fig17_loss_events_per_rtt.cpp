@@ -17,11 +17,11 @@ TFMCC_SCENARIO(fig17_loss_events_per_rtt,
                             1.001)) {
   using namespace tfmcc;
 
-  bench::figure_header("Figure 17", "Loss events per RTT");
+  bench::figure_header(opts.out(), "Figure 17", "Loss events per RTT");
 
   // The declared minimum (1.001) keeps any accepted override loop-safe.
   const double p_growth = opts.param_or("p_growth", 1.06);
-  CsvWriter csv(std::cout, {"loss_event_rate", "events_per_rtt_b2",
+  CsvWriter csv(opts.out(), {"loss_event_rate", "events_per_rtt_b2",
                             "events_per_rtt_b1"});
   double max_b2 = 0.0, argmax_p = 0.0, max_b1 = 0.0;
   for (double p = 1e-4; p <= 1.0; p *= p_growth) {
@@ -35,14 +35,14 @@ TFMCC_SCENARIO(fig17_loss_events_per_rtt,
     max_b1 = std::max(max_b1, l1);
   }
 
-  bench::note("max events/RTT: " + std::to_string(max_b2) + " at p = " +
+  bench::note(opts.out(), "max events/RTT: " + std::to_string(max_b2) + " at p = " +
               std::to_string(argmax_p) + " (paper model, b=2); b=1 model: " +
               std::to_string(max_b1));
-  bench::check(max_b2 > 0.10 && max_b2 < 0.16,
+  bench::check(opts.out(), max_b2 > 0.10 && max_b2 < 0.16,
                "maximum ~0.13 loss events per RTT (paper's Appendix A value)");
-  bench::check(max_b1 < 0.25,
+  bench::check(opts.out(), max_b1 < 0.25,
                "even with b=1 the rate self-limits well below 1 event/RTT");
-  bench::check(tcp_model::loss_events_per_rtt(1e-4, 2.0) < 0.02 &&
+  bench::check(opts.out(), tcp_model::loss_events_per_rtt(1e-4, 2.0) < 0.02 &&
                    tcp_model::loss_events_per_rtt(0.9, 2.0) < max_b2,
                "curve rises from ~0 and falls beyond the maximum");
   return 0;

@@ -60,7 +60,7 @@ TFMCC_SCENARIO(fig18_return_traffic,
   using namespace tfmcc;
   using namespace tfmcc::time_literals;
 
-  bench::figure_header("Figure 18", "Competing traffic on return paths");
+  bench::figure_header(opts.out(), "Figure 18", "Competing traffic on return paths");
 
   const SimTime horizon = opts.duration_or(120_sec);
   const std::uint64_t seed = opts.seed_or(181);
@@ -68,7 +68,7 @@ TFMCC_SCENARIO(fig18_return_traffic,
   const Result base = run(false, bottleneck_bps, seed, horizon);
   const Result loaded = run(true, bottleneck_bps, seed, horizon);
 
-  CsvWriter csv(std::cout, {"flow", "no_return_kbps", "with_return_kbps"});
+  CsvWriter csv(opts.out(), {"flow", "no_return_kbps", "with_return_kbps"});
   csv.row("TFMCC", base.tfmcc_kbps, loaded.tfmcc_kbps);
   for (int i = 0; i < 4; ++i) {
     csv.row("TCP(" + std::to_string(i == 0 ? 0 : 1 << (i - 1)) + " return)",
@@ -76,7 +76,7 @@ TFMCC_SCENARIO(fig18_return_traffic,
             loaded.tcp_kbps[static_cast<size_t>(i)]);
   }
 
-  bench::check(loaded.tfmcc_kbps > 0.6 * base.tfmcc_kbps,
+  bench::check(opts.out(), loaded.tfmcc_kbps > 0.6 * base.tfmcc_kbps,
                "TFMCC unaffected by return-path congestion");
   int robust_tcps = 0;
   for (int i = 0; i < 4; ++i) {
@@ -85,7 +85,7 @@ TFMCC_SCENARIO(fig18_return_traffic,
       ++robust_tcps;
     }
   }
-  bench::check(robust_tcps >= 3,
+  bench::check(opts.out(), robust_tcps >= 3,
                "TCP throughput holds up under moderate return congestion "
                "(cumulative ACKs)");
   return 0;

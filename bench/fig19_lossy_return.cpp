@@ -20,7 +20,7 @@ TFMCC_SCENARIO(fig19_lossy_return,
   using namespace tfmcc;
   using namespace tfmcc::time_literals;
 
-  bench::figure_header("Figure 19", "Lossy return paths");
+  bench::figure_header(opts.out(), "Figure 19", "Lossy return paths");
 
   const SimTime T = opts.duration_or(120_sec);
   const SimTime warm = bench::warmup(30_sec, T);
@@ -62,7 +62,7 @@ TFMCC_SCENARIO(fig19_lossy_return,
   tfmcc.sender().start(SimTime::zero());
   sim.run_until(T);
 
-  CsvWriter csv(std::cout, {"flow", "time_s", "kbps"});
+  CsvWriter csv(opts.out(), {"flow", "time_s", "kbps"});
   bench::emit_series(csv, "TFMCC", tfmcc.goodput(0), 0_sec, T);
   for (int i = 0; i < 4; ++i) {
     bench::emit_series(
@@ -74,11 +74,11 @@ TFMCC_SCENARIO(fig19_lossy_return,
   const double tcp0 = tcp[0]->mean_kbps(warm, T);
   const double tcp30 = tcp[3]->mean_kbps(warm, T);
 
-  bench::note("TFMCC " + std::to_string(tfmcc_kbps) + " kbit/s; TCP 0% " +
+  bench::note(opts.out(), "TFMCC " + std::to_string(tfmcc_kbps) + " kbit/s; TCP 0% " +
               std::to_string(tcp0) + ", TCP 30% " + std::to_string(tcp30));
-  bench::check(tfmcc_kbps > 500.0,
+  bench::check(opts.out(), tfmcc_kbps > 500.0,
                "TFMCC sustains throughput despite 30% report loss on one path");
-  bench::check(tcp30 > 0.35 * tcp0,
+  bench::check(opts.out(), tcp30 > 0.35 * tcp0,
                "TCP with 30% ACK loss keeps most of its throughput");
   return 0;
 }

@@ -23,7 +23,7 @@ TFMCC_SCENARIO(fig20_delay_responsiveness,
   using namespace tfmcc;
   using namespace tfmcc::time_literals;
 
-  bench::figure_header("Figure 20", "Responsiveness to network delay");
+  bench::figure_header(opts.out(), "Figure 20", "Responsiveness to network delay");
 
   const SimTime kRefT = 400_sec;
   const SimTime T = opts.duration_or(kRefT);
@@ -75,7 +75,7 @@ TFMCC_SCENARIO(fig20_delay_responsiveness,
   }
   sim.run_until(T);
 
-  CsvWriter csv(std::cout, {"flow", "time_s", "kbps"});
+  CsvWriter csv(opts.out(), {"flow", "time_s", "kbps"});
   bench::emit_series(csv, "TFMCC", tfmcc.goodput(0), 0_sec, T);
   for (int i = 0; i < 4; ++i) {
     bench::emit_series(csv, "TCP " + std::to_string(i + 1),
@@ -89,16 +89,16 @@ TFMCC_SCENARIO(fig20_delay_responsiveness,
   const double e3 = tfmcc.goodput(0).mean_kbps(w(210), w(250));
   const double back = tfmcc.goodput(0).mean_kbps(w(370), w(400));
 
-  bench::note("epoch means (kbit/s): 30ms=" + std::to_string(e0) + " +60ms=" +
+  bench::note(opts.out(), "epoch means (kbit/s): 30ms=" + std::to_string(e0) + " +60ms=" +
               std::to_string(e1) + " +120ms=" + std::to_string(e2) +
               " +240ms=" + std::to_string(e3) + " after leaves=" +
               std::to_string(back));
-  bench::note_schedule(sched);
-  bench::check(e1 < e0 && e2 < e1 && e3 < e2,
+  bench::note_schedule(opts.out(), sched);
+  bench::check(opts.out(), e1 < e0 && e2 < e1 && e3 < e2,
                "each higher-RTT join steps the rate down");
-  bench::check(back > 1.5 * e3, "rate recovers after the high-RTT leaves");
+  bench::check(opts.out(), back > 1.5 * e3, "rate recovers after the high-RTT leaves");
   const double tcp3 = tcp[3]->mean_kbps(w(210), w(250));
-  bench::check(e3 > tcp3 / 3.0 && e3 < tcp3 * 3.0,
+  bench::check(opts.out(), e3 > tcp3 / 3.0 && e3 < tcp3 * 3.0,
                "TFMCC tracks the 240 ms receiver's TCP-fair rate");
   return 0;
 }

@@ -20,7 +20,7 @@ TFMCC_SCENARIO(fig21_increased_congestion,
   using namespace tfmcc;
   using namespace tfmcc::time_literals;
 
-  bench::figure_header("Figure 21", "Responsiveness to increased congestion");
+  bench::figure_header(opts.out(), "Figure 21", "Responsiveness to increased congestion");
 
   // The flow-count doublings are scripted at 50 s epochs on the paper's
   // 250 s timeline and warp proportionally with --duration.
@@ -47,7 +47,7 @@ TFMCC_SCENARIO(fig21_increased_congestion,
   }
   s.sim.run_until(T);
 
-  CsvWriter csv(std::cout, {"flow", "time_s", "kbps"});
+  CsvWriter csv(opts.out(), {"flow", "time_s", "kbps"});
   bench::emit_series(csv, "TFMCC", s.tfmcc->goodput(0), 0_sec, T);
   // Aggregate each start-group of TCP flows into one trace, as the paper
   // does for readability.
@@ -71,7 +71,7 @@ TFMCC_SCENARIO(fig21_increased_congestion,
         warp(SimTime::seconds(50.0 * e + 25.0)),
         warp(SimTime::seconds(50.0 * (e + 1))));
   }
-  bench::note("TFMCC epoch means (kbit/s): " + std::to_string(epochs[0]) +
+  bench::note(opts.out(), "TFMCC epoch means (kbit/s): " + std::to_string(epochs[0]) +
               " / " + std::to_string(epochs[1]) + " / " +
               std::to_string(epochs[2]) + " / " + std::to_string(epochs[3]) +
               " / " + std::to_string(epochs[4]));
@@ -79,11 +79,11 @@ TFMCC_SCENARIO(fig21_increased_congestion,
   for (int e = 1; e < 5; ++e) {
     if (epochs[e] < 0.75 * epochs[e - 1]) ++halvings;
   }
-  bench::check(halvings >= 3,
+  bench::check(opts.out(), halvings >= 3,
                "each flow-count doubling roughly halves TFMCC's bandwidth");
   const double tcp_avg = s.tcp_mean_kbps(warp(225_sec), warp(250_sec));
   const double final_ratio = epochs[4] / tcp_avg;
-  bench::check(final_ratio > 0.3 && final_ratio < 4.0,
+  bench::check(opts.out(), final_ratio > 0.3 && final_ratio < 4.0,
                "overall fairness acceptable at 16 flows (paper: TFMCC "
                "slightly aggressive)");
   return 0;

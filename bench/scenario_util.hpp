@@ -87,11 +87,12 @@ struct SharedBottleneck {
 /// (warp factor 1), so default runs stay byte-identical; in a warped run it
 /// reports how much of the script actually executed, which the smoke tests
 /// assert on.
-inline void note_schedule(const ScheduleBuilder& sched) {
+inline void note_schedule(std::ostream& os, const ScheduleBuilder& sched) {
   if (sched.warp().is_identity()) return;
-  note("schedule: fired " + std::to_string(sched.fired()) + "/" +
-       std::to_string(sched.scheduled()) + " scripted events at warp factor " +
-       std::to_string(sched.warp().factor()));
+  note(os, "schedule: fired " + std::to_string(sched.fired()) + "/" +
+               std::to_string(sched.scheduled()) +
+               " scripted events at warp factor " +
+               std::to_string(sched.warp().factor()));
 }
 
 /// Coefficient of variation of a goodput trace in [from, to).

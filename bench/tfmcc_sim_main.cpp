@@ -5,24 +5,33 @@
 //   $ tfmcc_sim --list
 //   $ tfmcc_sim fig09_single_bottleneck --duration 5 --seed 7
 //   $ tfmcc_sim fig09_single_bottleneck --set n_tcp=4 --set bottleneck_bps=2e6
+//   $ tfmcc_sim sweep fig07_scaling --sweep n_receivers=2:2000:log6 --jobs 4
 //
 // A scenario run produces byte-identical output to the corresponding
-// standalone bench binary invoked with the same options.
+// standalone bench binary invoked with the same options, and a sweep's
+// aggregate CSV does not depend on `--jobs`.
 
 #include <cstring>
 #include <iostream>
 
 #include "sim/scenario.hpp"
+#include "sim/sweep.hpp"
 
 namespace {
 
 void print_usage(std::ostream& os) {
   os << "usage: tfmcc_sim --list\n"
         "       tfmcc_sim <scenario> [--duration <seconds>] [--seed <n>]\n"
-        "                            [--set key=value]...\n"
+        "                            [--set key=value]... [--output <path>]\n"
+        "       tfmcc_sim sweep <scenario> --sweep key=v1,v2,...\n"
+        "                       [--sweep key=lo:hi:linN|logN]... [--jobs N]\n"
+        "                       [single-run flags]\n"
         "`--list` shows each scenario's tunable parameters with their paper\n"
         "defaults; `--set` overrides them.  Scenarios with scripted event\n"
-        "schedules rescale the script proportionally under --duration.\n";
+        "schedules rescale the script proportionally under --duration.\n"
+        "`sweep` runs one scenario over a parameter grid (points in\n"
+        "parallel under --jobs) and aggregates the per-point CSVs into one\n"
+        "table with the swept keys prepended, rows in grid order.\n";
 }
 
 void print_list() {
@@ -56,10 +65,14 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  if (cmd == "sweep") {
+    return tfmcc::sweep_main(argc - 2, argv + 2, std::cerr);
+  }
+
   tfmcc::ScenarioOptions opts;
   if (!tfmcc::parse_scenario_options(argc - 2, argv + 2, opts, std::cerr)) {
     return 2;
   }
-  const int rc = tfmcc::ScenarioRegistry::instance().run(cmd, opts, std::cerr);
+  const int rc = tfmcc::run_scenario_cli(cmd, opts, std::cerr);
   return rc < 0 ? 2 : rc;
 }

@@ -66,11 +66,22 @@ ParamSpec param(std::string name, const char* dflt, std::string description);
 struct ScenarioOptions {
   std::optional<SimTime> duration;
   std::optional<std::uint64_t> seed;
+  /// `--output <path>`: where the CLI drivers redirect the scenario's
+  /// output sink before running (kept here so both the unified driver and
+  /// the standalone bench mains share the parse).
+  std::optional<std::string> output_path;
 
   SimTime duration_or(SimTime dflt) const { return duration.value_or(dflt); }
   std::uint64_t seed_or(std::uint64_t dflt) const {
     return seed.value_or(dflt);
   }
+
+  /// The scenario's output sink: everything a scenario prints (figure
+  /// header, CSV trace, CHECK/NOTE lines) goes through this stream, which
+  /// is std::cout unless redirected.  Redirection is what lets a sweep run
+  /// many points concurrently in-process without interleaving their CSVs.
+  std::ostream& out() const;
+  void set_output(std::ostream& os) { out_ = &os; }
 
   /// Record one `--set key=value` override (last write wins).
   void set_param(std::string key, std::string value);
@@ -89,8 +100,21 @@ struct ScenarioOptions {
   T param_or(std::string_view name, T dflt) const;
   std::string param_or(std::string_view name, const char* dflt) const;
 
+  /// Driver-internal: the registry binds the scenario's declared ParamSpecs
+  /// before invoking it, so a param_or() read of a key the scenario never
+  /// declared (invisible to `--list`/`--set` validation, i.e. a latent typo)
+  /// is diagnosed instead of silently returning the fallback.  `specs` must
+  /// outlive this object; nullptr unbinds.
+  void bind_specs(const ParamSpecList* specs) { specs_ = specs; }
+
  private:
+  /// Asserts (debug) / warns on stderr (release) when `name` is not among
+  /// the bound ParamSpecs; no-op when no specs are bound.
+  void check_declared(std::string_view name) const;
+
   std::map<std::string, std::string, std::less<>> params_;
+  const ParamSpecList* specs_{nullptr};
+  std::ostream* out_{nullptr};
 };
 
 // The supported param_or instantiations live in scenario_registry.cpp; the
@@ -160,11 +184,26 @@ class ScenarioRegistry {
   std::map<std::string, Scenario, std::less<>> scenarios_;
 };
 
-/// Parses `--duration <seconds>` / `--seed <n>` / `--set key=value` triples.
-/// Returns false and writes a diagnostic to `err` on unknown flags or
-/// malformed values.
+/// Parses `--duration <seconds>` / `--seed <n>` / `--set key=value` /
+/// `--output <path>` flags.  Returns false and writes a diagnostic to `err`
+/// on unknown flags or malformed values.
 bool parse_scenario_options(int argc, char** argv, ScenarioOptions& opts,
                             std::ostream& err);
+
+/// `--output` plumbing shared by the single-run and sweep CLI tails: open
+/// `path` for writing / flush and close it, diagnosing failures on `err`.
+/// Both return false after a diagnostic.
+bool open_output_file(const std::string& path, std::ofstream& file,
+                      std::ostream& err);
+bool finish_output_file(const std::string& path, std::ofstream& file,
+                        std::ostream& err);
+
+/// CLI tail shared by `tfmcc_sim` and the standalone bench mains: honours
+/// opts.output_path (opening the file and redirecting the scenario's output
+/// sink), then dispatches through the registry.  Returns the scenario's
+/// exit code, or -1 after a diagnostic on `err`.
+int run_scenario_cli(std::string_view name, ScenarioOptions& opts,
+                     std::ostream& err);
 
 /// Shared main() body for the standalone bench binaries: parse the option
 /// flags, then run the single named scenario from the registry.

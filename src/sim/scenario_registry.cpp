@@ -1,9 +1,11 @@
 #include "sim/scenario.hpp"
 
+#include <cassert>
 #include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <limits>
 #include <string>
@@ -156,9 +158,27 @@ bool ScenarioOptions::has_param(std::string_view key) const {
   return params_.find(key) != params_.end();
 }
 
+std::ostream& ScenarioOptions::out() const {
+  return out_ != nullptr ? *out_ : std::cout;
+}
+
+void ScenarioOptions::check_declared(std::string_view name) const {
+  if (specs_ == nullptr) return;
+  for (const auto& p : *specs_) {
+    if (p.name == name) return;
+  }
+  // A read of an undeclared key always gets the fallback: `--set` overrides
+  // of it are rejected up front as unknown, so the knob is dead.  Loud in
+  // debug builds, a stderr warning in release.
+  std::cerr << "warning: scenario read undeclared parameter '" << name
+            << "' (missing from its ParamSpec list; --set cannot reach it)\n";
+  assert(false && "param_or: parameter not in the scenario's ParamSpec list");
+}
+
 template <>
 std::string ScenarioOptions::param_or<std::string>(std::string_view name,
                                                    std::string dflt) const {
+  check_declared(name);
   auto it = params_.find(name);
   return it == params_.end() ? dflt : it->second;
 }
@@ -166,6 +186,7 @@ std::string ScenarioOptions::param_or<std::string>(std::string_view name,
 template <>
 double ScenarioOptions::param_or<double>(std::string_view name,
                                          double dflt) const {
+  check_declared(name);
   auto it = params_.find(name);
   if (it == params_.end()) return dflt;
   double v = 0;
@@ -175,6 +196,7 @@ double ScenarioOptions::param_or<double>(std::string_view name,
 template <>
 std::int64_t ScenarioOptions::param_or<std::int64_t>(std::string_view name,
                                                      std::int64_t dflt) const {
+  check_declared(name);
   auto it = params_.find(name);
   if (it == params_.end()) return dflt;
   std::int64_t v = 0;
@@ -195,6 +217,7 @@ int ScenarioOptions::param_or<int>(std::string_view name, int dflt) const {
 template <>
 std::uint64_t ScenarioOptions::param_or<std::uint64_t>(
     std::string_view name, std::uint64_t dflt) const {
+  check_declared(name);
   auto it = params_.find(name);
   if (it == params_.end()) return dflt;
   std::uint64_t v = 0;
@@ -203,6 +226,7 @@ std::uint64_t ScenarioOptions::param_or<std::uint64_t>(
 
 template <>
 bool ScenarioOptions::param_or<bool>(std::string_view name, bool dflt) const {
+  check_declared(name);
   auto it = params_.find(name);
   if (it == params_.end()) return dflt;
   bool v = false;
@@ -288,7 +312,11 @@ int ScenarioRegistry::run(std::string_view name, const ScenarioOptions& opts,
     return -1;
   }
   if (!validate_scenario_params(*s, opts, err)) return -1;
-  return s->fn(opts);
+  // Bind the declared ParamSpecs to a copy of the options so param_or()
+  // reads inside the scenario are checked against them (see check_declared).
+  ScenarioOptions bound = opts;
+  bound.bind_specs(&s->params);
+  return s->fn(bound);
 }
 
 bool parse_scenario_options(int argc, char** argv, ScenarioOptions& opts,
@@ -316,6 +344,13 @@ bool parse_scenario_options(int argc, char** argv, ScenarioOptions& opts,
       }
       opts.seed = seed;
       ++i;
+    } else if (arg == "--output") {
+      if (!has_value || argv[i + 1][0] == '\0') {
+        err << "error: --output expects a file path\n";
+        return false;
+      }
+      opts.output_path = argv[i + 1];
+      ++i;
     } else if (arg == "--set") {
       const std::string_view kv = has_value ? std::string_view{argv[i + 1]}
                                             : std::string_view{};
@@ -329,17 +364,53 @@ bool parse_scenario_options(int argc, char** argv, ScenarioOptions& opts,
       ++i;
     } else {
       err << "error: unknown option '" << arg
-          << "' (expected --duration <s>, --seed <n> or --set key=value)\n";
+          << "' (expected --duration <s>, --seed <n>, --set key=value or "
+             "--output <path>)\n";
       return false;
     }
   }
   return true;
 }
 
+bool open_output_file(const std::string& path, std::ofstream& file,
+                      std::ostream& err) {
+  file.open(path);
+  if (!file) {
+    err << "error: cannot open output file '" << path << "'\n";
+    return false;
+  }
+  return true;
+}
+
+bool finish_output_file(const std::string& path, std::ofstream& file,
+                        std::ostream& err) {
+  file.flush();
+  if (!file) {
+    err << "error: writing output file '" << path << "' failed\n";
+    return false;
+  }
+  return true;
+}
+
+int run_scenario_cli(std::string_view name, ScenarioOptions& opts,
+                     std::ostream& err) {
+  std::ofstream file;
+  if (opts.output_path.has_value()) {
+    if (!open_output_file(*opts.output_path, file, err)) return -1;
+    opts.set_output(file);
+  }
+  const int rc = ScenarioRegistry::instance().run(name, opts, err);
+  if (file.is_open() &&
+      !finish_output_file(*opts.output_path, file, err)) {
+    return -1;
+  }
+  return rc;
+}
+
 int run_scenario_main(const char* name, int argc, char** argv) {
   ScenarioOptions opts;
   if (!parse_scenario_options(argc - 1, argv + 1, opts, std::cerr)) return 2;
-  const int rc = ScenarioRegistry::instance().run(name, opts, std::cerr);
+  const int rc = run_scenario_cli(name, opts, std::cerr);
   return rc < 0 ? 2 : rc;
 }
 

@@ -10,6 +10,11 @@ EventId Scheduler::schedule_at(SimTime t, EventCallback cb) {
     throw std::logic_error("Scheduler: event scheduled in the past (" +
                            t.str() + " < " + now_.str() + ")");
   }
+  if (!cb) {
+    // Rejecting here keeps the failure at the call site instead of a
+    // std::bad_function_call out of step() arbitrarily later.
+    throw std::logic_error("Scheduler: empty event callback");
+  }
   auto rec = std::make_shared<detail::EventRecord>();
   rec->callback = std::move(cb);
   heap_.push(Entry{t, next_seq_++, rec});
@@ -23,13 +28,14 @@ void Scheduler::cancel(const EventId& id) {
   }
 }
 
-void Scheduler::drop_cancelled_head() {
+void Scheduler::drop_cancelled_head() const {
   while (!heap_.empty() && heap_.top().rec->cancelled) heap_.pop();
 }
 
 bool Scheduler::empty() const {
-  // Note: may report false when only cancelled events remain; `step` skips
-  // them, so `run` still terminates correctly.
+  // Cancelled events are semantically absent, so shed them before answering;
+  // the heap is mutable because this cleanup is not observable state.
+  drop_cancelled_head();
   return heap_.empty();
 }
 

@@ -82,9 +82,11 @@ class Scheduler {
     }
   };
 
-  void drop_cancelled_head();
+  void drop_cancelled_head() const;
 
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  // Mutable so empty() can lazily drop cancelled entries; they are already
+  // semantically gone, so this does not change observable state.
+  mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
   SimTime now_{SimTime::zero()};
   std::uint64_t next_seq_{0};
   std::uint64_t executed_{0};

@@ -1,0 +1,387 @@
+#include "sim/sweep.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <thread>
+
+namespace tfmcc {
+
+namespace {
+
+// Unlike scenario_registry's parse_f64, this rejects non-finite values:
+// an inf/nan sweep bound can never expand to a usable range.
+bool parse_double(std::string_view text, double& out) {
+  std::string buf{text};
+  char* end = nullptr;
+  out = std::strtod(buf.c_str(), &end);
+  return !buf.empty() && end == buf.c_str() + buf.size() &&
+         std::isfinite(out);
+}
+
+std::string format_value(double v, bool integral) {
+  if (integral) return std::to_string(std::llround(v));
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%g", v);
+  return buf;
+}
+
+/// Splits `text` on `sep`, keeping empty fields so "1,,2" is diagnosable.
+std::vector<std::string_view> split(std::string_view text, char sep) {
+  std::vector<std::string_view> parts;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t sep_at = text.find(sep, start);
+    parts.push_back(text.substr(start, sep_at - start));
+    if (sep_at == std::string_view::npos) return parts;
+    start = sep_at + 1;
+  }
+}
+
+/// Commentary a scenario interleaves with its CSV trace: the figure
+/// header, CHECK/NOTE lines, and blank lines.  Everything else is taken
+/// as CSV (header first, then rows) by the aggregator.
+bool is_commentary(std::string_view line) {
+  return line.empty() || line.front() == '#' ||
+         line.substr(0, 6) == "CHECK " || line.substr(0, 5) == "NOTE:";
+}
+
+/// Label for per-point diagnostics: "n_receivers=2,trials=50".
+std::string point_label(const std::vector<SweepAxis>& axes,
+                        const std::vector<std::string>& point) {
+  std::string label;
+  for (std::size_t a = 0; a < axes.size(); ++a) {
+    if (a != 0) label += ',';
+    label += axes[a].key + '=' + point[a];
+  }
+  return label;
+}
+
+struct PointResult {
+  int rc{0};
+  std::string output;
+  std::string error;
+};
+
+}  // namespace
+
+bool parse_sweep_axis(std::string_view text, const ParamSpec* spec,
+                      SweepAxis& axis, std::ostream& err) {
+  const std::size_t eq = text.find('=');
+  if (eq == std::string_view::npos || eq == 0 || eq + 1 == text.size()) {
+    err << "error: --sweep expects key=v1,v2,... or key=lo:hi:linN|logN, got '"
+        << text << "'\n";
+    return false;
+  }
+  axis.key = std::string{text.substr(0, eq)};
+  axis.values.clear();
+  const std::string_view body = text.substr(eq + 1);
+
+  if (body.find(':') == std::string_view::npos) {
+    for (std::string_view v : split(body, ',')) {
+      if (v.empty()) {
+        err << "error: empty value in --sweep list '" << text << "'\n";
+        return false;
+      }
+      axis.values.emplace_back(v);
+    }
+    return true;
+  }
+
+  const auto parts = split(body, ':');
+  double lo = 0, hi = 0;
+  std::string_view kind;
+  std::uint64_t n_points = 0;
+  bool ok = parts.size() == 3 && parse_double(parts[0], lo) &&
+            parse_double(parts[1], hi);
+  if (ok) {
+    const std::string_view step = parts[2];
+    kind = step.substr(0, 3);
+    ok = (kind == "lin" || kind == "log") && step.size() > 3;
+    if (ok) {
+      const std::string count{step.substr(3)};
+      char* end = nullptr;
+      n_points = std::strtoull(count.c_str(), &end, 10);
+      ok = end == count.c_str() + count.size();
+    }
+  }
+  if (!ok) {
+    err << "error: malformed --sweep range '" << text
+        << "' (expected key=lo:hi:linN or key=lo:hi:logN)\n";
+    return false;
+  }
+  if (n_points < 2 || n_points > 1'000'000) {
+    err << "error: --sweep range '" << text
+        << "' needs between 2 and 1e6 points\n";
+    return false;
+  }
+  if (kind == "log" && (lo <= 0.0 || hi <= 0.0)) {
+    err << "error: --sweep log range '" << text
+        << "' requires positive bounds\n";
+    return false;
+  }
+
+  const bool integral =
+      spec != nullptr &&
+      (spec->type == ParamType::kInt64 || spec->type == ParamType::kUint64);
+  const double steps = static_cast<double>(n_points - 1);
+  for (std::uint64_t i = 0; i < n_points; ++i) {
+    double v;
+    if (i == n_points - 1) {
+      v = hi;  // land exactly on the bound, no accumulated rounding
+    } else if (kind == "log") {
+      v = lo * std::pow(hi / lo, static_cast<double>(i) / steps);
+    } else {
+      v = lo + (hi - lo) * static_cast<double>(i) / steps;
+    }
+    std::string formatted = format_value(v, integral);
+    // Integer rounding can collapse neighbouring points (1:10:log20);
+    // keep each resulting value once.
+    if (axis.values.empty() || axis.values.back() != formatted) {
+      axis.values.push_back(std::move(formatted));
+    }
+  }
+  return true;
+}
+
+std::vector<std::vector<std::string>> expand_grid(
+    const std::vector<SweepAxis>& axes) {
+  std::vector<std::vector<std::string>> grid{{}};
+  for (const auto& axis : axes) {
+    std::vector<std::vector<std::string>> next;
+    next.reserve(grid.size() * axis.values.size());
+    for (const auto& prefix : grid) {
+      for (const auto& value : axis.values) {
+        auto point = prefix;
+        point.push_back(value);
+        next.push_back(std::move(point));
+      }
+    }
+    grid = std::move(next);
+  }
+  return grid;
+}
+
+int run_sweep(const Scenario& scenario, const SweepOptions& sweep,
+              std::ostream& out, std::ostream& err) {
+  if (sweep.axes.empty()) {
+    err << "error: sweep needs at least one --sweep key=... axis\n";
+    return 2;
+  }
+  std::size_t n_points = 1;
+  for (std::size_t a = 0; a < sweep.axes.size(); ++a) {
+    const SweepAxis& axis = sweep.axes[a];
+    if (axis.values.empty()) {
+      err << "error: --sweep axis '" << axis.key << "' has no values\n";
+      return 2;
+    }
+    for (std::size_t b = 0; b < a; ++b) {
+      if (sweep.axes[b].key == axis.key) {
+        // A second axis for the same key would silently lose: set_param is
+        // last-write-wins, so the first axis' column would mislabel what ran.
+        err << "error: duplicate --sweep axis for key '" << axis.key
+            << "' (combine the values into one axis)\n";
+        return 2;
+      }
+    }
+    // Cap the grid product, not just each axis: every point's full output
+    // is buffered until aggregation.
+    constexpr std::size_t kMaxGridPoints = 1'000'000;
+    if (axis.values.size() > kMaxGridPoints / n_points) {
+      err << "error: sweep grid exceeds " << kMaxGridPoints << " points\n";
+      return 2;
+    }
+    n_points *= axis.values.size();
+  }
+  const auto grid = expand_grid(sweep.axes);
+
+  // Validate every point before running anything, so a bad axis value is
+  // one clean diagnostic instead of a mid-sweep failure.
+  auto point_options = [&](const std::vector<std::string>& point) {
+    ScenarioOptions opts = sweep.base;
+    for (std::size_t a = 0; a < sweep.axes.size(); ++a) {
+      opts.set_param(sweep.axes[a].key, point[a]);
+    }
+    return opts;
+  };
+  for (const auto& point : grid) {
+    if (!validate_scenario_params(scenario, point_options(point), err)) {
+      err << "  (sweep point " << point_label(sweep.axes, point) << ")\n";
+      return 2;
+    }
+  }
+
+  // Run the grid on a fixed-size pool.  Results land in grid-indexed slots,
+  // so aggregation order is independent of completion order.
+  std::vector<PointResult> results(grid.size());
+  std::atomic<std::size_t> next_point{0};
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next_point.fetch_add(1);
+      if (i >= grid.size()) return;
+      std::ostringstream sink;
+      ScenarioOptions opts = point_options(grid[i]);
+      opts.set_output(sink);
+      opts.bind_specs(&scenario.params);
+      try {
+        results[i].rc = scenario.fn(opts);
+      } catch (const std::exception& e) {
+        results[i].rc = -1;
+        results[i].error = e.what();
+      } catch (...) {
+        // Anything escaping the thread body would std::terminate the whole
+        // sweep; degrade to a labelled per-point failure instead.
+        results[i].rc = -1;
+        results[i].error = "unknown exception";
+      }
+      results[i].output = sink.str();
+    }
+  };
+  const std::size_t n_workers = std::min<std::size_t>(
+      grid.size(), static_cast<std::size_t>(std::max(sweep.jobs, 1)));
+  if (n_workers <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(n_workers);
+    for (std::size_t i = 0; i < n_workers; ++i) pool.emplace_back(worker);
+    for (auto& t : pool) t.join();
+  }
+
+  int rc = 0;
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    if (results[i].rc != 0) {
+      err << "error: sweep point " << point_label(sweep.axes, grid[i])
+          << " failed";
+      if (!results[i].error.empty()) {
+        err << ": " << results[i].error;
+      } else {
+        err << " (exit code " << results[i].rc << ")";
+      }
+      err << '\n';
+      rc = 1;
+    }
+  }
+  if (rc != 0) return rc;
+
+  // Merge: one shared header (the points must agree on it), then every
+  // point's data rows in grid order with the swept values prepended.
+  std::string header;
+  std::vector<std::vector<std::string>> rows_per_point(grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    std::istringstream is{results[i].output};
+    std::string line;
+    bool seen_header = false;
+    while (std::getline(is, line)) {
+      if (is_commentary(line)) continue;
+      if (!seen_header) {
+        seen_header = true;
+        if (header.empty()) {
+          header = line;
+        } else if (line != header) {
+          err << "error: sweep point " << point_label(sweep.axes, grid[i])
+              << " emitted CSV header '" << line
+              << "' but earlier points emitted '" << header << "'\n";
+          return 1;
+        }
+        continue;
+      }
+      rows_per_point[i].push_back(line);
+    }
+    // The raw capture is fully parsed; release it so peak memory holds one
+    // copy of the rows, not two.
+    results[i].output.clear();
+    results[i].output.shrink_to_fit();
+  }
+  if (header.empty()) {
+    err << "error: no CSV trace found in any sweep point's output\n";
+    return 1;
+  }
+
+  for (const auto& axis : sweep.axes) out << axis.key << ',';
+  out << header << '\n';
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    for (const auto& row : rows_per_point[i]) {
+      for (const auto& value : grid[i]) out << value << ',';
+      out << row << '\n';
+    }
+  }
+  return 0;
+}
+
+int sweep_main(int argc, char** argv, std::ostream& err) {
+  if (argc < 1 || std::string_view{argv[0]}.substr(0, 2) == "--") {
+    err << "usage: tfmcc_sim sweep <scenario> --sweep key=v1,v2,... "
+           "[--sweep key=lo:hi:logN]... [--jobs N] [--duration <s>] "
+           "[--seed <n>] [--set key=value]... [--output <path>]\n";
+    return 2;
+  }
+  const std::string_view name = argv[0];
+  const Scenario* scenario = ScenarioRegistry::instance().find(name);
+  if (scenario == nullptr) {
+    err << "error: unknown scenario '" << name << "'\nknown scenarios:\n";
+    for (const auto& n : ScenarioRegistry::instance().names()) {
+      err << "  " << n << '\n';
+    }
+    return 2;
+  }
+
+  SweepOptions sweep;
+  std::vector<char*> passthrough;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (arg == "--sweep") {
+      if (!has_value) {
+        err << "error: --sweep expects key=v1,v2,... or key=lo:hi:linN|logN\n";
+        return 2;
+      }
+      const std::string_view spec_text = argv[i + 1];
+      const std::size_t eq = spec_text.find('=');
+      const ParamSpec* spec =
+          eq == std::string_view::npos
+              ? nullptr
+              : scenario->find_param(spec_text.substr(0, eq));
+      SweepAxis axis;
+      if (!parse_sweep_axis(spec_text, spec, axis, err)) return 2;
+      sweep.axes.push_back(std::move(axis));
+      ++i;
+    } else if (arg == "--jobs") {
+      char* end = nullptr;
+      const long jobs = has_value ? std::strtol(argv[i + 1], &end, 10) : 0;
+      if (!has_value || end == argv[i + 1] || *end != '\0' || jobs < 1 ||
+          jobs > 1024) {
+        err << "error: --jobs expects an integer between 1 and 1024\n";
+        return 2;
+      }
+      sweep.jobs = static_cast<int>(jobs);
+      ++i;
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  if (!parse_scenario_options(static_cast<int>(passthrough.size()),
+                              passthrough.data(), sweep.base, err)) {
+    return 2;
+  }
+
+  std::ofstream file;
+  std::ostream* out = &std::cout;
+  if (sweep.base.output_path.has_value()) {
+    if (!open_output_file(*sweep.base.output_path, file, err)) return 2;
+    out = &file;
+  }
+  const int rc = run_sweep(*scenario, sweep, *out, err);
+  if (file.is_open() &&
+      !finish_output_file(*sweep.base.output_path, file, err)) {
+    return 2;
+  }
+  return rc;
+}
+
+}  // namespace tfmcc

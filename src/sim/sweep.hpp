@@ -1,0 +1,79 @@
+#pragma once
+
+// Parameter-sweep driver: runs one scenario over a cartesian grid of
+// `--set`-able parameter values and aggregates the per-point CSV traces
+// into a single table.
+//
+//   tfmcc_sim sweep fig07_scaling --sweep n_receivers=2:2000:log6
+//                                 --sweep trials=50,150 --jobs 4
+//
+// Axis syntax (the value part of `--sweep key=...`):
+//   v1,v2,v3         explicit list, values passed through verbatim
+//   lo:hi:linN       N points linearly spaced from lo to hi inclusive
+//   lo:hi:logN       N points geometrically spaced from lo to hi inclusive
+// Range points for integer-typed parameters are rounded and adjacent
+// duplicates collapsed, so e.g. 1:10:log20 yields each count once.
+//
+// Points run concurrently on a fixed-size thread pool (`--jobs N`), each
+// with its output sink redirected to a private buffer (see
+// ScenarioOptions::set_output); the aggregator then emits rows in
+// deterministic grid order — axes vary with the last `--sweep` fastest —
+// regardless of completion order, so `--jobs 1` and `--jobs N` produce
+// byte-identical output.  Figure-header/CHECK/NOTE commentary from the
+// points is dropped from the aggregate; per-point CSV headers must agree.
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/scenario.hpp"
+
+namespace tfmcc {
+
+/// One swept parameter: the key plus the expanded value list, each value a
+/// string exactly as it would appear in `--set key=value`.
+struct SweepAxis {
+  std::string key;
+  std::vector<std::string> values;
+};
+
+/// Parses one `--sweep key=spec` argument into an expanded axis.  `spec`
+/// is the scenario's declaration of the key when available — it selects
+/// integer rounding for range points — and may be null (unknown keys are
+/// reported later by per-point validation, not here).  Returns false after
+/// a diagnostic on `err` for syntax errors: missing '=', empty lists,
+/// malformed bounds, ranges with fewer than two points, or log ranges with
+/// non-positive bounds.
+bool parse_sweep_axis(std::string_view text, const ParamSpec* spec,
+                      SweepAxis& axis, std::ostream& err);
+
+/// Cartesian product of the axes in declaration order, the last axis
+/// varying fastest.  One grid point is one value per axis.
+std::vector<std::vector<std::string>> expand_grid(
+    const std::vector<SweepAxis>& axes);
+
+struct SweepOptions {
+  std::vector<SweepAxis> axes;
+  int jobs{1};
+  /// Applied to every point (duration/seed/--set overrides); its output
+  /// sink and output_path are ignored — the aggregate goes to `out`.
+  ScenarioOptions base;
+};
+
+/// Expands the grid, validates every point against the scenario's declared
+/// parameters, runs all points on `jobs` worker threads, and writes the
+/// aggregated CSV — the swept keys prepended as columns, rows in grid
+/// order — to `out`.  Returns 0 on success; nonzero after a diagnostic on
+/// `err` when validation fails, a point exits nonzero, or the per-point
+/// traces cannot be merged (no CSV, or mismatched headers).
+int run_sweep(const Scenario& scenario, const SweepOptions& sweep,
+              std::ostream& out, std::ostream& err);
+
+/// CLI entry for `tfmcc_sim sweep <scenario> ...`: argv holds everything
+/// after the `sweep` token.  Accepts `--sweep key=spec` (repeatable),
+/// `--jobs N`, and every single-run flag (`--duration`, `--seed`, `--set`,
+/// `--output`).  Returns the process exit code.
+int sweep_main(int argc, char** argv, std::ostream& err);
+
+}  // namespace tfmcc

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "sim/scenario.hpp"
+#include "sim/sweep.hpp"
 
 namespace tfmcc {
 namespace {
@@ -126,6 +127,49 @@ TEST(ScenarioHarness, ParameterizedRunsAreDeterministic) {
       run_captured("fig09_single_bottleneck", other, err);
   ASSERT_EQ(rc_c, 0) << err.str();
   EXPECT_NE(out_a, out_c);
+}
+
+TEST(ScenarioHarness, SweepAggregateIsByteIdenticalAcrossJobs) {
+  // Acceptance: a smoke-sized fig07 grid aggregates to byte-identical CSV
+  // whether the points run serially or on four workers, with rows in grid
+  // order (axes last-fastest) regardless of completion order.
+  const Scenario* s = ScenarioRegistry::instance().find("fig07_scaling");
+  ASSERT_NE(s, nullptr);
+  SweepOptions sweep;
+  std::ostringstream parse_err;
+  SweepAxis n_axis, t_axis;
+  ASSERT_TRUE(parse_sweep_axis("n_receivers=2:200:log3",
+                               s->find_param("n_receivers"), n_axis,
+                               parse_err))
+      << parse_err.str();
+  ASSERT_TRUE(parse_sweep_axis("trials=2,3", s->find_param("trials"), t_axis,
+                               parse_err))
+      << parse_err.str();
+  sweep.axes = {n_axis, t_axis};
+  sweep.base.set_param("n_max", "1000");
+
+  auto run_with_jobs = [&](int jobs) {
+    sweep.jobs = jobs;
+    std::ostringstream out, err;
+    EXPECT_EQ(run_sweep(*s, sweep, out, err), 0) << err.str();
+    return out.str();
+  };
+  const std::string serial = run_with_jobs(1);
+  const std::string parallel = run_with_jobs(4);
+  EXPECT_EQ(serial, parallel);
+
+  // 3 receiver counts x 2 trial counts, one CSV row per point, one header.
+  std::istringstream is{serial};
+  std::string line;
+  std::vector<std::string> lines;
+  while (std::getline(is, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 7u) << serial;
+  EXPECT_EQ(lines[0].rfind("n_receivers,trials,", 0), 0u) << lines[0];
+  // Grid order: the last axis (trials) varies fastest.
+  EXPECT_EQ(lines[1].rfind("2,2,", 0), 0u) << serial;
+  EXPECT_EQ(lines[2].rfind("2,3,", 0), 0u) << serial;
+  EXPECT_EQ(lines[3].rfind("20,2,", 0), 0u) << serial;
+  EXPECT_EQ(lines[6].rfind("200,3,", 0), 0u) << serial;
 }
 
 TEST(ScenarioHarness, UnknownOverrideKeyIsRejected) {

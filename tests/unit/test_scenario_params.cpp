@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <iostream>
 #include <sstream>
 
 #include "sim/scenario.hpp"
@@ -106,6 +107,57 @@ TEST(ParamOr, UnparsableValueFallsBackToDefault) {
   EXPECT_DOUBLE_EQ(opts.param_or("f", 1.25), 1.25);
   EXPECT_TRUE(opts.param_or("b", true));
   EXPECT_EQ(opts.param_or("frac_int", 3), 3);
+}
+
+TEST(ParamOr, UndeclaredReadIsDiagnosedWhenSpecsAreBound) {
+  // Regression: a scenario reading a key missing from its ParamSpec list
+  // used to silently return the fallback — the knob looked live but
+  // `--set` could never reach it.  With the scenario's specs bound (as the
+  // registry does before dispatch) the read asserts in debug builds and
+  // warns on stderr in release builds.
+  const ParamSpecList specs{param("declared", 1, "the one real knob", 0)};
+  ScenarioOptions opts;
+  opts.bind_specs(&specs);
+  EXPECT_EQ(opts.param_or("declared", 7), 7);  // absent -> default, silent
+  EXPECT_DEBUG_DEATH(opts.param_or("undeclared", 7),
+                     "undeclared parameter 'undeclared'");
+#ifdef NDEBUG
+  // Release builds keep running; verify the stderr diagnostic instead.
+  testing::internal::CaptureStderr();
+  EXPECT_EQ(opts.param_or("undeclared", 7), 7);
+  const std::string warning = testing::internal::GetCapturedStderr();
+  EXPECT_NE(warning.find("undeclared parameter 'undeclared'"),
+            std::string::npos);
+#endif
+}
+
+TEST(ParamOr, UncheckedWithoutBoundSpecs) {
+  // Bare ScenarioOptions (unit tests, ad-hoc embedding) stay permissive;
+  // the declared-key check only arms when a scenario's specs are bound.
+  ScenarioOptions opts;
+  EXPECT_EQ(opts.param_or("anything_goes", 9), 9);
+}
+
+TEST(ParseOutput, AcceptsPathAndRejectsMissingValue) {
+  ScenarioOptions opts;
+  ASSERT_TRUE(parse({"--output", "/tmp/trace.csv"}, opts));
+  ASSERT_TRUE(opts.output_path.has_value());
+  EXPECT_EQ(*opts.output_path, "/tmp/trace.csv");
+
+  ScenarioOptions missing;
+  std::string err;
+  EXPECT_FALSE(parse({"--output"}, missing, &err));
+  EXPECT_NE(err.find("--output expects a file path"), std::string::npos);
+}
+
+TEST(OutputSink, DefaultsToStdoutAndFollowsRedirection) {
+  ScenarioOptions opts;
+  EXPECT_EQ(&opts.out(), &std::cout);
+  std::ostringstream sink;
+  opts.set_output(sink);
+  EXPECT_EQ(&opts.out(), &sink);
+  opts.out() << "redirected";
+  EXPECT_EQ(sink.str(), "redirected");
 }
 
 TEST(ParamSpecBuilder, PicksTypeAndDefaultFromCxxType) {

@@ -54,6 +54,47 @@ TEST(Scheduler, CancelIsIdempotentAndSafeOnEmptyId) {
   s.run();
 }
 
+TEST(Scheduler, EmptyReportsTrueWhenOnlyCancelledEventsRemain) {
+  // Regression: empty() used to answer from the raw heap, reporting false
+  // while every remaining entry was cancelled (i.e. semantically gone).
+  Scheduler s;
+  EXPECT_TRUE(s.empty());
+  EventId a = s.schedule_at(1_ms, [] {});
+  EventId b = s.schedule_at(2_ms, [] {});
+  EXPECT_FALSE(s.empty());
+  s.cancel(a);
+  EXPECT_FALSE(s.empty());  // b is still pending
+  s.cancel(b);
+  EXPECT_TRUE(s.empty());
+  // step()/run() semantics are unchanged: nothing left to execute.
+  EXPECT_FALSE(s.step());
+  EXPECT_EQ(s.executed(), 0u);
+  EXPECT_EQ(s.now(), SimTime::zero());
+}
+
+TEST(Scheduler, EmptyDropsCancelledHeadButKeepsLivePendingEvent) {
+  Scheduler s;
+  EventId head = s.schedule_at(1_ms, [] {});
+  bool fired = false;
+  s.schedule_at(2_ms, [&] { fired = true; });
+  s.cancel(head);
+  EXPECT_FALSE(s.empty());
+  s.run();
+  EXPECT_TRUE(fired);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(Scheduler, RejectsEmptyCallbackAtScheduleTime) {
+  // Regression: an empty EventCallback used to be accepted and blow up
+  // step() with std::bad_function_call far from the offending call site.
+  Scheduler s;
+  EXPECT_THROW(s.schedule_at(1_ms, EventCallback{}), std::logic_error);
+  EXPECT_THROW(s.schedule_in(1_ms, nullptr), std::logic_error);
+  EXPECT_TRUE(s.empty());  // the rejected event was never enqueued
+  s.run();                 // and the scheduler is still usable
+  EXPECT_EQ(s.executed(), 0u);
+}
+
 TEST(Scheduler, EventIdNotPendingAfterFire) {
   Scheduler s;
   EventId id = s.schedule_at(1_ms, [] {});

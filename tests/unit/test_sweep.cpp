@@ -1,0 +1,265 @@
+// Unit tests for the parameter-sweep driver (sim/sweep.hpp): grid-spec
+// parsing (lists, linear/log ranges, malformed specs), cartesian expansion
+// order, and run_sweep itself — deterministic grid-order aggregation that
+// is byte-identical across --jobs levels even when completion order is
+// deliberately skewed, plus the validation and failure paths.
+
+#include "sim/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/csv.hpp"
+
+namespace tfmcc {
+namespace {
+
+// Synthetic scenario for exercising run_sweep without the bench library:
+// emits one CSV row derived from its parameters, wrapped in the usual
+// figure-header/NOTE commentary, and can stall (to skew completion order
+// across worker threads) or fail on demand.
+TFMCC_SCENARIO(test_sweep_probe, "synthetic sweep probe",
+               tfmcc::param("x", 1, "integer factor", 0),
+               tfmcc::param("y", 1.0, "double factor"),
+               tfmcc::param("delay_ms", 0, "stall before emitting", 0),
+               tfmcc::param("fail", false, "exit nonzero"),
+               tfmcc::param("alt_header", false, "emit a different header")) {
+  const int x = opts.param_or("x", 1);
+  const double y = opts.param_or("y", 1.0);
+  const int delay_ms = opts.param_or("delay_ms", 0);
+  if (delay_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+  }
+  auto& os = opts.out();
+  os << "# synthetic probe\n";
+  if (opts.param_or("fail", false)) {
+    os << "NOTE: failing as requested\n";
+    return 3;
+  }
+  CsvWriter csv(os, {opts.param_or("alt_header", false) ? "other" : "x", "y",
+                     "product"});
+  csv.row(x, y, static_cast<double>(x) * y);
+  os << "NOTE: product emitted\n";
+  return 0;
+}
+
+const Scenario& probe() {
+  const Scenario* s = ScenarioRegistry::instance().find("test_sweep_probe");
+  EXPECT_NE(s, nullptr);
+  return *s;
+}
+
+SweepAxis parse_ok(std::string_view text, const ParamSpec* spec = nullptr) {
+  SweepAxis axis;
+  std::ostringstream err;
+  EXPECT_TRUE(parse_sweep_axis(text, spec, axis, err)) << err.str();
+  return axis;
+}
+
+std::string parse_fail(std::string_view text,
+                       const ParamSpec* spec = nullptr) {
+  SweepAxis axis;
+  std::ostringstream err;
+  EXPECT_FALSE(parse_sweep_axis(text, spec, axis, err)) << "for: " << text;
+  return err.str();
+}
+
+TEST(SweepAxisParse, ExplicitListPassesValuesThroughVerbatim) {
+  const SweepAxis axis = parse_ok("n_receivers=1,10,2e2");
+  EXPECT_EQ(axis.key, "n_receivers");
+  EXPECT_EQ(axis.values, (std::vector<std::string>{"1", "10", "2e2"}));
+}
+
+TEST(SweepAxisParse, LinearRange) {
+  const SweepAxis axis = parse_ok("loss=0:1:lin5");
+  EXPECT_EQ(axis.key, "loss");
+  EXPECT_EQ(axis.values,
+            (std::vector<std::string>{"0", "0.25", "0.5", "0.75", "1"}));
+}
+
+TEST(SweepAxisParse, LogRangeLandsExactlyOnBothBounds) {
+  const SweepAxis axis = parse_ok("rate=1:1000:log4");
+  EXPECT_EQ(axis.values,
+            (std::vector<std::string>{"1", "10", "100", "1000"}));
+}
+
+TEST(SweepAxisParse, IntegerSpecRoundsRangePoints) {
+  const ParamSpec spec = param("n", 1, "receivers", 1);
+  const SweepAxis axis = parse_ok("n=2:2000:log6", &spec);
+  EXPECT_EQ(axis.values, (std::vector<std::string>{"2", "8", "32", "126",
+                                                   "502", "2000"}));
+}
+
+TEST(SweepAxisParse, IntegerRoundingCollapsesAdjacentDuplicates) {
+  const ParamSpec spec = param("n", 1, "receivers", 1);
+  const SweepAxis axis = parse_ok("n=1:4:log8", &spec);
+  // Unrounded: 1, 1.22, 1.49, 1.81, 2.21, 2.69, 3.28, 4.
+  EXPECT_EQ(axis.values, (std::vector<std::string>{"1", "2", "3", "4"}));
+}
+
+TEST(SweepAxisParse, DoubleSpecKeepsFractionalRangePoints) {
+  const ParamSpec spec = param("loss", 0.1, "loss rate", 0.0);
+  const SweepAxis axis = parse_ok("loss=0.01:0.04:lin4", &spec);
+  EXPECT_EQ(axis.values,
+            (std::vector<std::string>{"0.01", "0.02", "0.03", "0.04"}));
+}
+
+TEST(SweepAxisParse, RejectsMalformedSpecs) {
+  EXPECT_NE(parse_fail("no_equals").find("--sweep expects"),
+            std::string::npos);
+  EXPECT_NE(parse_fail("=1,2").find("--sweep expects"), std::string::npos);
+  EXPECT_NE(parse_fail("k=").find("--sweep expects"), std::string::npos);
+  EXPECT_NE(parse_fail("k=1,,2").find("empty value"), std::string::npos);
+  EXPECT_NE(parse_fail("k=1:10").find("malformed"), std::string::npos);
+  EXPECT_NE(parse_fail("k=1:10:geo4").find("malformed"), std::string::npos);
+  EXPECT_NE(parse_fail("k=1:10:lin").find("malformed"), std::string::npos);
+  EXPECT_NE(parse_fail("k=1:10:log4x").find("malformed"), std::string::npos);
+  EXPECT_NE(parse_fail("k=a:10:lin4").find("malformed"), std::string::npos);
+  EXPECT_NE(parse_fail("k=1:b:lin4").find("malformed"), std::string::npos);
+  EXPECT_NE(parse_fail("k=1:10:lin1").find("between 2"), std::string::npos);
+  EXPECT_NE(parse_fail("k=0:10:log4").find("positive bounds"),
+            std::string::npos);
+  EXPECT_NE(parse_fail("k=-1:10:log4").find("positive bounds"),
+            std::string::npos);
+}
+
+TEST(SweepGrid, ExpandsCartesianProductLastAxisFastest) {
+  const std::vector<SweepAxis> axes{{"a", {"1", "2"}}, {"b", {"x", "y"}}};
+  const auto grid = expand_grid(axes);
+  ASSERT_EQ(grid.size(), 4u);
+  EXPECT_EQ(grid[0], (std::vector<std::string>{"1", "x"}));
+  EXPECT_EQ(grid[1], (std::vector<std::string>{"1", "y"}));
+  EXPECT_EQ(grid[2], (std::vector<std::string>{"2", "x"}));
+  EXPECT_EQ(grid[3], (std::vector<std::string>{"2", "y"}));
+}
+
+TEST(SweepGrid, SingleAxisGridIsTheAxis) {
+  const auto grid = expand_grid({{"a", {"1", "2", "3"}}});
+  ASSERT_EQ(grid.size(), 3u);
+  EXPECT_EQ(grid[2], (std::vector<std::string>{"3"}));
+}
+
+std::string run_probe_sweep(SweepOptions sweep, int expected_rc = 0,
+                            std::string* err_out = nullptr) {
+  std::ostringstream out, err;
+  const int rc = run_sweep(probe(), sweep, out, err);
+  EXPECT_EQ(rc, expected_rc) << err.str();
+  if (err_out != nullptr) *err_out = err.str();
+  return out.str();
+}
+
+TEST(RunSweep, AggregatesRowsInGridOrderWithKeysPrepended) {
+  SweepOptions sweep;
+  sweep.axes = {{"x", {"2", "3"}}, {"y", {"0.5", "4"}}};
+  const std::string out = run_probe_sweep(sweep);
+  EXPECT_EQ(out,
+            "x,y,x,y,product\n"
+            "2,0.5,2,0.5,1\n"
+            "2,4,2,4,8\n"
+            "3,0.5,3,0.5,1.5\n"
+            "3,4,3,4,12\n");
+}
+
+TEST(RunSweep, OutputIsByteIdenticalAcrossJobsDespiteSkewedCompletion) {
+  // The first grid points stall, so with 4 workers the later points finish
+  // first; the aggregate must not care.
+  SweepOptions sweep;
+  sweep.axes = {{"delay_ms", {"30", "20", "0", "0"}}, {"x", {"5", "7"}}};
+  sweep.jobs = 1;
+  const std::string serial = run_probe_sweep(sweep);
+  sweep.jobs = 4;
+  const std::string parallel = run_probe_sweep(sweep);
+  EXPECT_EQ(serial, parallel);
+  EXPECT_NE(serial.find("0,7,7,1,7\n"), std::string::npos) << serial;
+}
+
+TEST(RunSweep, DropsCommentaryFromAggregate) {
+  SweepOptions sweep;
+  sweep.axes = {{"x", {"1"}}};
+  const std::string out = run_probe_sweep(sweep);
+  EXPECT_EQ(out.find("#"), std::string::npos);
+  EXPECT_EQ(out.find("NOTE"), std::string::npos);
+}
+
+TEST(RunSweep, BaseSetOverridesApplyToEveryPoint) {
+  SweepOptions sweep;
+  sweep.axes = {{"x", {"1", "2"}}};
+  sweep.base.set_param("y", "10");
+  const std::string out = run_probe_sweep(sweep);
+  EXPECT_EQ(out,
+            "x,x,y,product\n"
+            "1,1,10,10\n"
+            "2,2,10,20\n");
+}
+
+TEST(RunSweep, RejectsUndeclaredAxisBeforeRunningAnything) {
+  SweepOptions sweep;
+  sweep.axes = {{"no_such_knob", {"1"}}};
+  std::string err;
+  run_probe_sweep(sweep, 2, &err);
+  EXPECT_NE(err.find("unknown parameter 'no_such_knob'"), std::string::npos);
+  EXPECT_NE(err.find("sweep point no_such_knob=1"), std::string::npos);
+}
+
+TEST(RunSweep, RejectsValueBelowDeclaredMinimum) {
+  SweepOptions sweep;
+  sweep.axes = {{"x", {"5", "-1"}}};
+  std::string err;
+  run_probe_sweep(sweep, 2, &err);
+  EXPECT_NE(err.find("below the minimum"), std::string::npos);
+}
+
+TEST(RunSweep, ReportsFailingPointsByLabel) {
+  SweepOptions sweep;
+  sweep.axes = {{"x", {"1", "2"}}, {"fail", {"false", "true"}}};
+  std::string err;
+  const std::string out = run_probe_sweep(sweep, 1, &err);
+  EXPECT_TRUE(out.empty());
+  EXPECT_NE(err.find("sweep point x=1,fail=true failed"), std::string::npos);
+  EXPECT_NE(err.find("sweep point x=2,fail=true failed"), std::string::npos);
+}
+
+TEST(RunSweep, RejectsMismatchedHeadersAcrossPoints) {
+  SweepOptions sweep;
+  sweep.axes = {{"alt_header", {"false", "true"}}};
+  std::string err;
+  run_probe_sweep(sweep, 1, &err);
+  EXPECT_NE(err.find("emitted CSV header"), std::string::npos);
+}
+
+TEST(RunSweep, RejectsDuplicateAxisKeys) {
+  // set_param is last-write-wins, so a second axis for the same key would
+  // run different values than the first axis' column claims.
+  SweepOptions sweep;
+  sweep.axes = {{"x", {"1", "2"}}, {"y", {"3"}}, {"x", {"4"}}};
+  std::string err;
+  run_probe_sweep(sweep, 2, &err);
+  EXPECT_NE(err.find("duplicate --sweep axis for key 'x'"),
+            std::string::npos);
+}
+
+TEST(RunSweep, RejectsOversizedGridProduct) {
+  // Each axis is within the per-axis limit, but the product is not; every
+  // point's output is buffered, so the cap guards peak memory.
+  const std::vector<std::string> thousand(1000, "1");
+  SweepOptions sweep;
+  sweep.axes = {{"x", thousand}, {"y", thousand}, {"delay_ms", thousand}};
+  std::string err;
+  run_probe_sweep(sweep, 2, &err);
+  EXPECT_NE(err.find("exceeds 1000000 points"), std::string::npos);
+}
+
+TEST(RunSweep, RequiresAtLeastOneAxis) {
+  SweepOptions sweep;
+  std::string err;
+  run_probe_sweep(sweep, 2, &err);
+  EXPECT_NE(err.find("at least one --sweep"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tfmcc
