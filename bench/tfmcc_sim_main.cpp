@@ -6,6 +6,8 @@
 //   $ tfmcc_sim fig09_single_bottleneck --duration 5 --seed 7
 //   $ tfmcc_sim fig09_single_bottleneck --set n_tcp=4 --set bottleneck_bps=2e6
 //   $ tfmcc_sim sweep fig07_scaling --sweep n_receivers=2:2000:log6 --jobs 4
+//   $ tfmcc_sim sweep fig07_scaling --sweep n_receivers=2:2000:log6
+//         --replicate 5 --stats mean,cov --jobs 4
 //
 // A scenario run produces byte-identical output to the corresponding
 // standalone bench binary invoked with the same options, and a sweep's
@@ -25,13 +27,18 @@ void print_usage(std::ostream& os) {
         "                            [--set key=value]... [--output <path>]\n"
         "       tfmcc_sim sweep <scenario> --sweep key=v1,v2,...\n"
         "                       [--sweep key=lo:hi:linN|logN]... [--jobs N]\n"
-        "                       [single-run flags]\n"
+        "                       [--replicate N] [--stats mean,cov,...]\n"
+        "                       [--progress] [single-run flags]\n"
         "`--list` shows each scenario's tunable parameters with their paper\n"
         "defaults; `--set` overrides them.  Scenarios with scripted event\n"
         "schedules rescale the script proportionally under --duration.\n"
         "`sweep` runs one scenario over a parameter grid (points in\n"
         "parallel under --jobs) and aggregates the per-point CSVs into one\n"
-        "table with the swept keys prepended, rows in grid order.\n";
+        "table with the swept keys prepended, rows in grid order.\n"
+        "`--replicate N` runs every grid point N times on derived seeds\n"
+        "and emits one summary row per point (mean/cov/... columns per the\n"
+        "--stats selection plus n_rep); `--progress` forces the throttled\n"
+        "progress/ETA line stderr TTYs get by default.\n";
 }
 
 void print_list() {

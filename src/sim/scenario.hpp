@@ -141,6 +141,15 @@ inline std::string ScenarioOptions::param_or(std::string_view name,
   return param_or<std::string>(name, std::string{dflt});
 }
 
+/// Seed for replicate `rep` of a run whose base seed is `base`: replicate 0
+/// is the base itself (so a single replicate reproduces the plain run
+/// byte-for-byte), later replicates get a splitmix64-mixed stream.  A pure
+/// function of (base, rep) — independent of thread count, completion order,
+/// and which grid point the replicate belongs to — so replicated sweeps are
+/// deterministic and individual replicates can be re-run standalone with
+/// `--seed <derived>`.
+std::uint64_t derive_replicate_seed(std::uint64_t base, std::uint64_t rep);
+
 using ScenarioFn = int (*)(const ScenarioOptions&);
 
 struct Scenario {

@@ -233,6 +233,17 @@ bool ScenarioOptions::param_or<bool>(std::string_view name, bool dflt) const {
   return parse_bool(it->second, v) ? v : dflt;
 }
 
+std::uint64_t derive_replicate_seed(std::uint64_t base, std::uint64_t rep) {
+  if (rep == 0) return base;
+  // splitmix64: advance the stream by `rep` increments, then finalize.  The
+  // finalizer's avalanche keeps consecutive replicates decorrelated even
+  // though the pre-mix states differ by one golden-ratio increment.
+  std::uint64_t z = base + rep * 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
 const ParamSpec* Scenario::find_param(std::string_view pname) const {
   for (const auto& p : params) {
     if (p.name == pname) return &p;

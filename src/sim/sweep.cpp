@@ -2,27 +2,27 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <mutex>
 #include <sstream>
 #include <thread>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
 
 namespace tfmcc {
 
 namespace {
 
-// Unlike scenario_registry's parse_f64, this rejects non-finite values:
-// an inf/nan sweep bound can never expand to a usable range.
-bool parse_double(std::string_view text, double& out) {
-  std::string buf{text};
-  char* end = nullptr;
-  out = std::strtod(buf.c_str(), &end);
-  return !buf.empty() && end == buf.c_str() + buf.size() &&
-         std::isfinite(out);
-}
+/// Cap on buffered scenario runs (grid points times replicates): every
+/// run's full output is held until aggregation.
+constexpr std::size_t kMaxGridPoints = 1'000'000;
 
 std::string format_value(double v, bool integral) {
   if (integral) return std::to_string(std::llround(v));
@@ -68,6 +68,89 @@ struct PointResult {
   std::string error;
 };
 
+/// "replicate 2/5 (seed 1234...)" when replicating, "" otherwise; names the
+/// exact run a diagnostic is about and the seed to reproduce it standalone.
+std::string replicate_label(const SweepOptions& sweep, std::uint64_t rep,
+                            int n_rep) {
+  if (n_rep <= 1) return {};
+  return " replicate " + std::to_string(rep + 1) + "/" +
+         std::to_string(n_rep) + " (seed " +
+         std::to_string(
+             derive_replicate_seed(sweep.base.seed.value_or(0), rep)) +
+         ")";
+}
+
+bool stderr_is_tty() {
+#if defined(__unix__) || defined(__APPLE__)
+  return isatty(fileno(stderr)) != 0;
+#else
+  return false;
+#endif
+}
+
+/// Throttled completed/total + elapsed/ETA line on `err`.  On a TTY the
+/// line rewrites itself in place; when forced onto a non-TTY stream
+/// (`--progress` under redirection) each update is its own line.  Uses the
+/// monotonic clock so wall-clock adjustments cannot yield negative ETAs.
+class ProgressReporter {
+ public:
+  ProgressReporter(std::size_t total, bool enabled, bool tty,
+                   std::ostream& err)
+      : total_{total},
+        enabled_{enabled},
+        tty_{tty},
+        err_{err},
+        start_{std::chrono::steady_clock::now()} {}
+
+  /// Thread-safe; called by workers after each completed run.
+  void task_done() {
+    const std::size_t done = done_.fetch_add(1) + 1;
+    if (!enabled_) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (done <= printed_done_) return;  // a slower thread lost the race
+    const auto now = std::chrono::steady_clock::now();
+    if (done != total_ &&
+        now - last_print_ < std::chrono::milliseconds(200)) {
+      return;
+    }
+    printed_done_ = done;
+    last_print_ = now;
+    const double elapsed =
+        std::chrono::duration<double>(now - start_).count();
+    const double eta =
+        elapsed / static_cast<double>(done) *
+        static_cast<double>(total_ - done);
+    char buf[160];
+    std::snprintf(buf, sizeof buf,
+                  "sweep: %zu/%zu runs (%.0f%%) elapsed %.1fs eta %.1fs",
+                  done, total_,
+                  100.0 * static_cast<double>(done) /
+                      static_cast<double>(total_),
+                  elapsed, eta);
+    if (tty_) {
+      err_ << '\r' << buf << "  " << std::flush;
+    } else {
+      err_ << buf << '\n';
+    }
+  }
+
+  /// Terminates the in-place TTY line so later diagnostics start clean.
+  void finish() {
+    if (enabled_ && tty_ && printed_done_ > 0) err_ << '\n';
+  }
+
+ private:
+  const std::size_t total_;
+  const bool enabled_;
+  const bool tty_;
+  std::ostream& err_;
+  const std::chrono::steady_clock::time_point start_;
+  std::atomic<std::size_t> done_{0};
+  std::mutex mu_;
+  std::size_t printed_done_{0};
+  std::chrono::steady_clock::time_point last_print_{};
+};
+
 }  // namespace
 
 bool parse_sweep_axis(std::string_view text, const ParamSpec* spec,
@@ -97,8 +180,11 @@ bool parse_sweep_axis(std::string_view text, const ParamSpec* spec,
   double lo = 0, hi = 0;
   std::string_view kind;
   std::uint64_t n_points = 0;
-  bool ok = parts.size() == 3 && parse_double(parts[0], lo) &&
-            parse_double(parts[1], hi);
+  // summary::parse_number rejects non-finite values, unlike
+  // scenario_registry's parse_f64: an inf/nan sweep bound can never expand
+  // to a usable range.
+  bool ok = parts.size() == 3 && summary::parse_number(parts[0], lo) &&
+            summary::parse_number(parts[1], hi);
   if (ok) {
     const std::string_view step = parts[2];
     kind = step.substr(0, 3);
@@ -191,12 +277,25 @@ int run_sweep(const Scenario& scenario, const SweepOptions& sweep,
     }
     // Cap the grid product, not just each axis: every point's full output
     // is buffered until aggregation.
-    constexpr std::size_t kMaxGridPoints = 1'000'000;
     if (axis.values.size() > kMaxGridPoints / n_points) {
       err << "error: sweep grid exceeds " << kMaxGridPoints << " points\n";
       return 2;
     }
     n_points *= axis.values.size();
+  }
+  const int n_rep = sweep.replicate;
+  if (n_rep < 1) {
+    err << "error: --replicate must be at least 1\n";
+    return 2;
+  }
+  if (static_cast<std::size_t>(n_rep) > kMaxGridPoints / n_points) {
+    err << "error: sweep grid times --replicate exceeds " << kMaxGridPoints
+        << " runs\n";
+    return 2;
+  }
+  if (n_rep > 1 && sweep.stats.empty()) {
+    err << "error: --replicate needs at least one statistic\n";
+    return 2;
   }
   const auto grid = expand_grid(sweep.axes);
 
@@ -216,34 +315,53 @@ int run_sweep(const Scenario& scenario, const SweepOptions& sweep,
     }
   }
 
-  // Run the grid on a fixed-size pool.  Results land in grid-indexed slots,
-  // so aggregation order is independent of completion order.
-  std::vector<PointResult> results(grid.size());
-  std::atomic<std::size_t> next_point{0};
+  // Run the grid (times replicates) on a fixed-size pool.  One task is one
+  // scenario run; task t is replicate t % n_rep of grid point t / n_rep.
+  // Results land in task-indexed slots, so aggregation order — and the
+  // order rows feed the Welford accumulators — is independent of
+  // completion order.
+  const std::size_t n_tasks = grid.size() * static_cast<std::size_t>(n_rep);
+  std::vector<PointResult> results(n_tasks);
+  std::atomic<std::size_t> next_task{0};
+  const bool err_is_stderr_tty = &err == &std::cerr && stderr_is_tty();
+  ProgressReporter progress(n_tasks, sweep.progress || err_is_stderr_tty,
+                            err_is_stderr_tty, err);
   auto worker = [&] {
     for (;;) {
-      const std::size_t i = next_point.fetch_add(1);
-      if (i >= grid.size()) return;
+      const std::size_t t = next_task.fetch_add(1);
+      if (t >= n_tasks) return;
+      const std::uint64_t rep = t % static_cast<std::size_t>(n_rep);
       std::ostringstream sink;
-      ScenarioOptions opts = point_options(grid[i]);
+      ScenarioOptions opts =
+          point_options(grid[t / static_cast<std::size_t>(n_rep)]);
+      // When replicating, every replicate's seed — including replicate 0 —
+      // derives from the same effective base (`--seed`, defaulting to 0),
+      // so the replicate set is a pure function of the base seed and does
+      // not half-overlap between a bare sweep and `--seed 0`.  A single
+      // replicate keeps the base options untouched (seed unset means the
+      // scenario default), reproducing a plain sweep byte-for-byte.
+      if (n_rep > 1) {
+        opts.seed = derive_replicate_seed(sweep.base.seed.value_or(0), rep);
+      }
       opts.set_output(sink);
       opts.bind_specs(&scenario.params);
       try {
-        results[i].rc = scenario.fn(opts);
+        results[t].rc = scenario.fn(opts);
       } catch (const std::exception& e) {
-        results[i].rc = -1;
-        results[i].error = e.what();
+        results[t].rc = -1;
+        results[t].error = e.what();
       } catch (...) {
         // Anything escaping the thread body would std::terminate the whole
         // sweep; degrade to a labelled per-point failure instead.
-        results[i].rc = -1;
-        results[i].error = "unknown exception";
+        results[t].rc = -1;
+        results[t].error = "unknown exception";
       }
-      results[i].output = sink.str();
+      results[t].output = sink.str();
+      progress.task_done();
     }
   };
   const std::size_t n_workers = std::min<std::size_t>(
-      grid.size(), static_cast<std::size_t>(std::max(sweep.jobs, 1)));
+      n_tasks, static_cast<std::size_t>(std::max(sweep.jobs, 1)));
   if (n_workers <= 1) {
     worker();
   } else {
@@ -252,16 +370,20 @@ int run_sweep(const Scenario& scenario, const SweepOptions& sweep,
     for (std::size_t i = 0; i < n_workers; ++i) pool.emplace_back(worker);
     for (auto& t : pool) t.join();
   }
+  progress.finish();
 
   int rc = 0;
-  for (std::size_t i = 0; i < grid.size(); ++i) {
-    if (results[i].rc != 0) {
-      err << "error: sweep point " << point_label(sweep.axes, grid[i])
+  for (std::size_t t = 0; t < n_tasks; ++t) {
+    if (results[t].rc != 0) {
+      const auto& point = grid[t / static_cast<std::size_t>(n_rep)];
+      err << "error: sweep point " << point_label(sweep.axes, point)
+          << replicate_label(sweep, t % static_cast<std::size_t>(n_rep),
+                             n_rep)
           << " failed";
-      if (!results[i].error.empty()) {
-        err << ": " << results[i].error;
+      if (!results[t].error.empty()) {
+        err << " with exception: " << results[t].error;
       } else {
-        err << " (exit code " << results[i].rc << ")";
+        err << " (exit code " << results[t].rc << ")";
       }
       err << '\n';
       rc = 1;
@@ -269,12 +391,12 @@ int run_sweep(const Scenario& scenario, const SweepOptions& sweep,
   }
   if (rc != 0) return rc;
 
-  // Merge: one shared header (the points must agree on it), then every
-  // point's data rows in grid order with the swept values prepended.
+  // Merge: one shared header (every run must agree on it), then every
+  // run's data rows parsed out in task order.
   std::string header;
-  std::vector<std::vector<std::string>> rows_per_point(grid.size());
-  for (std::size_t i = 0; i < grid.size(); ++i) {
-    std::istringstream is{results[i].output};
+  std::vector<std::vector<std::string>> rows_per_task(n_tasks);
+  for (std::size_t t = 0; t < n_tasks; ++t) {
+    std::istringstream is{results[t].output};
     std::string line;
     bool seen_header = false;
     while (std::getline(is, line)) {
@@ -284,31 +406,102 @@ int run_sweep(const Scenario& scenario, const SweepOptions& sweep,
         if (header.empty()) {
           header = line;
         } else if (line != header) {
-          err << "error: sweep point " << point_label(sweep.axes, grid[i])
+          err << "error: sweep point "
+              << point_label(sweep.axes,
+                             grid[t / static_cast<std::size_t>(n_rep)])
+              << replicate_label(sweep,
+                                 t % static_cast<std::size_t>(n_rep), n_rep)
               << " emitted CSV header '" << line
               << "' but earlier points emitted '" << header << "'\n";
           return 1;
         }
         continue;
       }
-      rows_per_point[i].push_back(line);
+      rows_per_task[t].push_back(line);
     }
     // The raw capture is fully parsed; release it so peak memory holds one
     // copy of the rows, not two.
-    results[i].output.clear();
-    results[i].output.shrink_to_fit();
+    results[t].output.clear();
+    results[t].output.shrink_to_fit();
   }
   if (header.empty()) {
     err << "error: no CSV trace found in any sweep point's output\n";
     return 1;
   }
 
-  for (const auto& axis : sweep.axes) out << axis.key << ',';
-  out << header << '\n';
+  if (n_rep == 1) {
+    // Raw aggregate: each point's data rows in grid order with the swept
+    // values prepended.
+    for (const auto& axis : sweep.axes) out << axis.key << ',';
+    out << header << '\n';
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      for (const auto& row : rows_per_task[i]) {
+        for (const auto& value : grid[i]) out << value << ',';
+        out << row << '\n';
+      }
+    }
+    return 0;
+  }
+
+  // Replicated aggregate: collapse each point's rows — across all of its
+  // replicates, in replicate order — into statistics rows, one per
+  // distinct label tuple (all-numeric traces collapse to exactly one row
+  // per point; a per-flow trace keeps one row per flow).  Column
+  // classification (numeric vs label) must agree across points, or the
+  // expanded headers would disagree row by row; diverging points are a
+  // diagnosed error, not silently mixed columns.
+  const std::vector<std::string> columns = summary::split_csv(header);
+  std::vector<summary::ColumnSummary> per_point;
+  per_point.reserve(grid.size());
   for (std::size_t i = 0; i < grid.size(); ++i) {
-    for (const auto& row : rows_per_point[i]) {
+    summary::ColumnSummary acc{columns};
+    for (int r = 0; r < n_rep; ++r) {
+      const std::size_t t = i * static_cast<std::size_t>(n_rep) +
+                            static_cast<std::size_t>(r);
+      for (const auto& row : rows_per_task[t]) {
+        if (!acc.add_row(summary::split_csv(row), err)) {
+          err << "  (sweep point " << point_label(sweep.axes, grid[i])
+              << replicate_label(sweep, static_cast<std::uint64_t>(r),
+                                 n_rep)
+              << ")\n";
+          return 1;
+        }
+      }
+      rows_per_task[t].clear();
+      rows_per_task[t].shrink_to_fit();
+    }
+    per_point.push_back(std::move(acc));
+  }
+
+  // The reference header comes from the first point that produced rows;
+  // rowless points emit nothing and are exempt from the comparison.
+  const summary::ColumnSummary* reference = nullptr;
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    if (per_point[i].row_count() > 0) {
+      reference = &per_point[i];
+      break;
+    }
+  }
+  if (reference == nullptr) reference = &per_point.front();
+  const std::vector<std::string> expanded = reference->header(sweep.stats);
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    if (per_point[i].row_count() > 0 &&
+        per_point[i].numeric_mask() != reference->numeric_mask()) {
+      err << "error: sweep point " << point_label(sweep.axes, grid[i])
+          << " has a different numeric/label column mix than earlier "
+             "points; cannot aggregate\n";
+      return 1;
+    }
+  }
+
+  for (const auto& axis : sweep.axes) out << axis.key << ',';
+  for (const auto& name : expanded) out << name << ',';
+  out << "n_rep\n";
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    for (const auto& srow : per_point[i].summarize(sweep.stats)) {
       for (const auto& value : grid[i]) out << value << ',';
-      out << row << '\n';
+      for (const auto& cell : srow) out << cell << ',';
+      out << n_rep << '\n';
     }
   }
   return 0;
@@ -317,8 +510,10 @@ int run_sweep(const Scenario& scenario, const SweepOptions& sweep,
 int sweep_main(int argc, char** argv, std::ostream& err) {
   if (argc < 1 || std::string_view{argv[0]}.substr(0, 2) == "--") {
     err << "usage: tfmcc_sim sweep <scenario> --sweep key=v1,v2,... "
-           "[--sweep key=lo:hi:logN]... [--jobs N] [--duration <s>] "
-           "[--seed <n>] [--set key=value]... [--output <path>]\n";
+           "[--sweep key=lo:hi:logN]... [--jobs N] [--replicate N] "
+           "[--stats mean,stddev,cov,min,max] [--progress] "
+           "[--duration <s>] [--seed <n>] [--set key=value]... "
+           "[--output <path>]\n";
     return 2;
   }
   const std::string_view name = argv[0];
@@ -332,6 +527,7 @@ int sweep_main(int argc, char** argv, std::ostream& err) {
   }
 
   SweepOptions sweep;
+  bool stats_given = false;
   std::vector<char*> passthrough;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
@@ -361,9 +557,38 @@ int sweep_main(int argc, char** argv, std::ostream& err) {
       }
       sweep.jobs = static_cast<int>(jobs);
       ++i;
+    } else if (arg == "--replicate") {
+      char* end = nullptr;
+      const long reps = has_value ? std::strtol(argv[i + 1], &end, 10) : 0;
+      if (!has_value || end == argv[i + 1] || *end != '\0' || reps < 1 ||
+          reps > 100'000) {
+        err << "error: --replicate expects an integer between 1 and 1e5\n";
+        return 2;
+      }
+      sweep.replicate = static_cast<int>(reps);
+      ++i;
+    } else if (arg == "--stats") {
+      if (!has_value ||
+          !summary::parse_stats(argv[i + 1], sweep.stats, err)) {
+        if (!has_value) {
+          err << "error: --stats expects a comma-separated subset of "
+                 "mean,stddev,cov,min,max\n";
+        }
+        return 2;
+      }
+      stats_given = true;
+      ++i;
+    } else if (arg == "--progress") {
+      sweep.progress = true;
     } else {
       passthrough.push_back(argv[i]);
     }
+  }
+  if (stats_given && sweep.replicate == 1) {
+    // A single replicate emits raw rows, so a stats selection would be
+    // silently dead; make the contradiction loud.
+    err << "error: --stats requires --replicate greater than 1\n";
+    return 2;
   }
   if (!parse_scenario_options(static_cast<int>(passthrough.size()),
                               passthrough.data(), sweep.base, err)) {

@@ -21,12 +21,26 @@
 // regardless of completion order, so `--jobs 1` and `--jobs N` produce
 // byte-identical output.  Figure-header/CHECK/NOTE commentary from the
 // points is dropped from the aggregate; per-point CSV headers must agree.
+//
+// `--replicate N` runs every grid point N times with per-replicate seeds
+// derived from the base `--seed` (see derive_replicate_seed; unset base
+// defaults to 0 so the replicate set is a pure function of the base) and
+// collapses each point's rows — across replicates — into summary rows via
+// the analysis/summary column-statistics engine: numeric columns expand to
+// `<col>_mean`/`<col>_cov`/... for the `--stats` selection (default
+// mean,cov), non-numeric columns act as group-by labels (one summary row
+// per distinct label tuple, e.g. per flow; all-numeric traces collapse to
+// one row per point), and a trailing `n_rep` column records the replicate
+// count.  `--replicate 1` keeps today's raw-row aggregate byte-for-byte.
+// `--progress` forces the throttled progress/ETA line that is otherwise
+// only emitted when stderr is a TTY.
 
 #include <iosfwd>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "analysis/summary.hpp"
 #include "sim/scenario.hpp"
 
 namespace tfmcc {
@@ -56,6 +70,14 @@ std::vector<std::vector<std::string>> expand_grid(
 struct SweepOptions {
   std::vector<SweepAxis> axes;
   int jobs{1};
+  /// Runs per grid point.  1 (the default) emits the points' raw rows;
+  /// N > 1 emits one statistics row per point over the N replicates.
+  int replicate{1};
+  /// Statistics expanded per numeric column when replicate > 1; ignored
+  /// (with a diagnostic at the CLI layer) for single-replicate sweeps.
+  std::vector<summary::Stat> stats{summary::default_stats()};
+  /// Force the progress/ETA line even when stderr is not a TTY.
+  bool progress{false};
   /// Applied to every point (duration/seed/--set overrides); its output
   /// sink and output_path are ignored — the aggregate goes to `out`.
   ScenarioOptions base;
@@ -72,8 +94,9 @@ int run_sweep(const Scenario& scenario, const SweepOptions& sweep,
 
 /// CLI entry for `tfmcc_sim sweep <scenario> ...`: argv holds everything
 /// after the `sweep` token.  Accepts `--sweep key=spec` (repeatable),
-/// `--jobs N`, and every single-run flag (`--duration`, `--seed`, `--set`,
-/// `--output`).  Returns the process exit code.
+/// `--jobs N`, `--replicate N`, `--stats list`, `--progress`, and every
+/// single-run flag (`--duration`, `--seed`, `--set`, `--output`).  Returns
+/// the process exit code.
 int sweep_main(int argc, char** argv, std::ostream& err);
 
 }  // namespace tfmcc

@@ -9,7 +9,9 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <set>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -28,6 +30,7 @@ TFMCC_SCENARIO(test_sweep_probe, "synthetic sweep probe",
                tfmcc::param("y", 1.0, "double factor"),
                tfmcc::param("delay_ms", 0, "stall before emitting", 0),
                tfmcc::param("fail", false, "exit nonzero"),
+               tfmcc::param("throw_msg", "", "throw with this message"),
                tfmcc::param("alt_header", false, "emit a different header")) {
   const int x = opts.param_or("x", 1);
   const double y = opts.param_or("y", 1.0);
@@ -41,6 +44,8 @@ TFMCC_SCENARIO(test_sweep_probe, "synthetic sweep probe",
     os << "NOTE: failing as requested\n";
     return 3;
   }
+  const std::string throw_msg = opts.param_or("throw_msg", "");
+  if (!throw_msg.empty()) throw std::runtime_error(throw_msg);
   CsvWriter csv(os, {opts.param_or("alt_header", false) ? "other" : "x", "y",
                      "product"});
   csv.row(x, y, static_cast<double>(x) * y);
@@ -48,8 +53,41 @@ TFMCC_SCENARIO(test_sweep_probe, "synthetic sweep probe",
   return 0;
 }
 
+// Seed-sensitive probe for the replication layer: one row whose `sample`
+// column is a deterministic function of the effective seed, so replicates
+// on derived seeds produce dispersion and the aggregate is checkable by
+// hand.
+TFMCC_SCENARIO(test_replicate_probe, "seed-sensitive replication probe",
+               tfmcc::param("x", 1, "integer factor", 0)) {
+  const int x = opts.param_or("x", 1);
+  auto& os = opts.out();
+  CsvWriter csv(os, {"x", "sample"});
+  csv.row(x, opts.seed_or(100) % 1000);
+  return 0;
+}
+
+// Per-flow probe: two rows per run with a label column, mirroring the
+// fig09-style traces whose label columns must group the replicated
+// aggregate instead of pooling all flows under the first label.
+TFMCC_SCENARIO(test_grouped_probe, "per-flow grouped replication probe",
+               tfmcc::param("x", 1, "integer factor", 0)) {
+  const int x = opts.param_or("x", 1);
+  CsvWriter csv(opts.out(), {"flow", "value"});
+  csv.row("alpha",
+          x * static_cast<long long>(opts.seed_or(100) % 100));
+  csv.row("beta", 1000 + x);
+  return 0;
+}
+
 const Scenario& probe() {
   const Scenario* s = ScenarioRegistry::instance().find("test_sweep_probe");
+  EXPECT_NE(s, nullptr);
+  return *s;
+}
+
+const Scenario& replicate_probe() {
+  const Scenario* s =
+      ScenarioRegistry::instance().find("test_replicate_probe");
   EXPECT_NE(s, nullptr);
   return *s;
 }
@@ -259,6 +297,185 @@ TEST(RunSweep, RequiresAtLeastOneAxis) {
   std::string err;
   run_probe_sweep(sweep, 2, &err);
   EXPECT_NE(err.find("at least one --sweep"), std::string::npos);
+}
+
+TEST(ReplicateSeed, ReplicateZeroIsTheBaseSeed) {
+  EXPECT_EQ(derive_replicate_seed(0, 0), 0u);
+  EXPECT_EQ(derive_replicate_seed(17, 0), 17u);
+}
+
+TEST(ReplicateSeed, DerivedSeedsArePureAndDecorrelated) {
+  // Pure function of (base, rep): stable across calls, distinct across
+  // replicates, and distinct across nearby bases (the avalanche mix).
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t base : {0ull, 1ull, 17ull, 1'000'000'007ull}) {
+    for (std::uint64_t rep = 0; rep < 8; ++rep) {
+      const std::uint64_t s = derive_replicate_seed(base, rep);
+      EXPECT_EQ(s, derive_replicate_seed(base, rep));
+      EXPECT_TRUE(seen.insert(s).second)
+          << "collision at base " << base << " rep " << rep;
+    }
+  }
+}
+
+std::string run_replicate_sweep(SweepOptions sweep, int expected_rc = 0,
+                                std::string* err_out = nullptr) {
+  std::ostringstream out, err;
+  const int rc = run_sweep(replicate_probe(), sweep, out, err);
+  EXPECT_EQ(rc, expected_rc) << err.str();
+  if (err_out != nullptr) *err_out = err.str();
+  return out.str();
+}
+
+TEST(RunSweep, ExplicitReplicateOneKeepsRawRowOutput) {
+  SweepOptions sweep;
+  sweep.axes = {{"x", {"1", "2"}}};
+  const std::string raw = run_replicate_sweep(sweep);
+  sweep.replicate = 1;
+  EXPECT_EQ(run_replicate_sweep(sweep), raw);
+  EXPECT_EQ(raw,
+            "x,x,sample\n"
+            "1,1,100\n"
+            "2,2,100\n");
+}
+
+TEST(RunSweep, ReplicatedAggregateMatchesHandComputedMean) {
+  SweepOptions sweep;
+  sweep.axes = {{"x", {"4"}}};
+  sweep.replicate = 3;
+  sweep.base.seed = 7;
+  const std::string out = run_replicate_sweep(sweep);
+
+  // Replicate 0 runs the base seed, replicates 1 and 2 the derived stream;
+  // the probe's sample is seed % 1000.
+  const double s0 = 7 % 1000;
+  const double s1 = static_cast<double>(derive_replicate_seed(7, 1) % 1000);
+  const double s2 = static_cast<double>(derive_replicate_seed(7, 2) % 1000);
+  const double mean = (s0 + s1 + s2) / 3.0;
+
+  std::istringstream is{out};
+  std::string header, row, extra;
+  ASSERT_TRUE(std::getline(is, header));
+  ASSERT_TRUE(std::getline(is, row));
+  EXPECT_FALSE(std::getline(is, extra)) << out;  // one aggregate row
+  EXPECT_EQ(header, "x,x_mean,x_cov,sample_mean,sample_cov,n_rep");
+  const auto cells = summary::split_csv(row);
+  ASSERT_EQ(cells.size(), 6u);
+  EXPECT_EQ(cells[0], "4");
+  EXPECT_EQ(cells[1], "4");  // the swept value itself, zero dispersion
+  EXPECT_EQ(cells[2], "0");
+  EXPECT_NEAR(std::stod(cells[3]), mean, mean * 1e-5);
+  EXPECT_GT(std::stod(cells[4]), 0.0);  // distinct seeds => dispersion
+  EXPECT_EQ(cells[5], "3");
+}
+
+TEST(RunSweep, ReplicatedAggregateIsByteIdenticalAcrossJobsAndRuns) {
+  SweepOptions sweep;
+  sweep.axes = {{"x", {"1", "2", "3"}}};
+  sweep.replicate = 4;
+  sweep.jobs = 1;
+  const std::string serial = run_replicate_sweep(sweep);
+  sweep.jobs = 4;
+  const std::string parallel = run_replicate_sweep(sweep);
+  EXPECT_EQ(serial, parallel);
+  EXPECT_EQ(parallel, run_replicate_sweep(sweep));  // repeated invocation
+}
+
+TEST(RunSweep, UnsetSeedReplicatesDeriveFromBaseZero) {
+  // With no --seed the whole replicate set derives from base 0 — including
+  // replicate 0 — so a bare replicated sweep and `--seed 0` agree exactly
+  // instead of sharing all but the first replicate.
+  SweepOptions sweep;
+  sweep.axes = {{"x", {"1", "2"}}};
+  sweep.replicate = 3;
+  const std::string unset = run_replicate_sweep(sweep);
+  sweep.base.seed = 0;
+  EXPECT_EQ(run_replicate_sweep(sweep), unset);
+}
+
+TEST(RunSweep, LabelColumnsGroupTheReplicatedAggregate) {
+  const Scenario* s =
+      ScenarioRegistry::instance().find("test_grouped_probe");
+  ASSERT_NE(s, nullptr);
+  SweepOptions sweep;
+  sweep.axes = {{"x", {"2"}}};
+  sweep.replicate = 2;
+  sweep.base.seed = 3;
+  std::ostringstream out, err;
+  ASSERT_EQ(run_sweep(*s, sweep, out, err), 0) << err.str();
+
+  // alpha varies with the derived seeds; beta is seed-independent, so its
+  // mean is exact and its CoV zero.  One aggregate row per flow, in
+  // first-appearance order.
+  const double a0 = 2.0 * static_cast<double>(3 % 100);
+  const double a1 =
+      2.0 * static_cast<double>(derive_replicate_seed(3, 1) % 100);
+  std::istringstream is{out.str()};
+  std::string header, alpha_row, beta_row, extra;
+  ASSERT_TRUE(std::getline(is, header));
+  ASSERT_TRUE(std::getline(is, alpha_row));
+  ASSERT_TRUE(std::getline(is, beta_row));
+  EXPECT_FALSE(std::getline(is, extra)) << out.str();
+  EXPECT_EQ(header, "x,flow,value_mean,value_cov,n_rep");
+  const auto alpha = summary::split_csv(alpha_row);
+  ASSERT_EQ(alpha.size(), 5u);
+  EXPECT_EQ(alpha[1], "alpha");
+  EXPECT_NEAR(std::stod(alpha[2]), (a0 + a1) / 2.0,
+              1e-4 * ((a0 + a1) / 2.0 + 1.0));
+  EXPECT_EQ(alpha[4], "2");
+  EXPECT_EQ(beta_row, "2,beta,1002,0,2");
+}
+
+TEST(RunSweep, StatsSelectionControlsAggregateColumns) {
+  SweepOptions sweep;
+  sweep.axes = {{"x", {"2"}}};
+  sweep.replicate = 2;
+  sweep.stats = {summary::Stat::kMin, summary::Stat::kMax};
+  const std::string out = run_replicate_sweep(sweep);
+  EXPECT_EQ(out.rfind("x,x_min,x_max,sample_min,sample_max,n_rep\n", 0), 0u)
+      << out;
+}
+
+TEST(RunSweep, ThrowingScenarioReportsMessageWithPointAssignment) {
+  SweepOptions sweep;
+  sweep.axes = {{"x", {"1", "2"}}, {"throw_msg", {"", "boom"}}};
+  std::string err;
+  const std::string out = run_probe_sweep(sweep, 1, &err);
+  EXPECT_TRUE(out.empty());
+  EXPECT_NE(err.find("sweep point x=1,throw_msg=boom failed with "
+                     "exception: boom"),
+            std::string::npos)
+      << err;
+  EXPECT_NE(err.find("sweep point x=2,throw_msg=boom failed with "
+                     "exception: boom"),
+            std::string::npos)
+      << err;
+}
+
+TEST(RunSweep, ThrowingReplicateIsNamedWithItsDerivedSeed) {
+  SweepOptions sweep;
+  sweep.axes = {{"throw_msg", {"kaput"}}};
+  sweep.replicate = 2;
+  sweep.base.seed = 5;
+  std::string err;
+  run_probe_sweep(sweep, 1, &err);
+  EXPECT_NE(err.find("replicate 1/2 (seed 5)"), std::string::npos) << err;
+  EXPECT_NE(err.find("replicate 2/2 (seed " +
+                     std::to_string(derive_replicate_seed(5, 1)) + ")"),
+            std::string::npos)
+      << err;
+  EXPECT_NE(err.find("failed with exception: kaput"), std::string::npos)
+      << err;
+}
+
+TEST(RunSweep, ReplicateMultipliesIntoTheRunCap) {
+  const std::vector<std::string> thousand(1000, "1");
+  SweepOptions sweep;
+  sweep.axes = {{"x", thousand}, {"y", thousand}};
+  sweep.replicate = 2;
+  std::string err;
+  run_probe_sweep(sweep, 2, &err);
+  EXPECT_NE(err.find("times --replicate exceeds"), std::string::npos);
 }
 
 }  // namespace
