@@ -8,6 +8,7 @@
 
 #include "analysis/feedback_round.hpp"
 #include "sim/scheduler.hpp"
+#include "sim/simulator.hpp"
 #include "tfmcc/feedback_timer.hpp"
 #include "tfrc/equation.hpp"
 #include "tfrc/loss_history.hpp"
@@ -72,6 +73,25 @@ void BM_SchedulerChurn(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(n));
 }
 BENCHMARK(BM_SchedulerChurn)->Arg(64)->Arg(4096);
+
+void BM_PacketPoolChurn(benchmark::State& state) {
+  // Steady-state packet checkout/release through the per-simulator pool —
+  // the "one pool checkout per multicast packet" half of the hot path.
+  Simulator sim;
+  const auto in_flight = static_cast<std::size_t>(state.range(0));
+  std::vector<PacketPtr> live;
+  live.reserve(in_flight);
+  std::uint64_t n = 0;
+  for (auto _ : state) {
+    auto p = sim.make_packet();
+    p->size_bytes = kDataPacketBytes;
+    live.push_back(std::move(p));
+    if (live.size() >= in_flight) live.clear();
+    ++n;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_PacketPoolChurn)->Arg(16)->Arg(256);
 
 void BM_FeedbackTimerDraw(benchmark::State& state) {
   FeedbackTimerConfig cfg;

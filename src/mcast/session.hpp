@@ -35,7 +35,7 @@ class MulticastSession {
   int member_count() const { return topo_.member_count(group_); }
 
   /// Inject a packet at the source and replicate it down the tree.
-  void send_from_source(PacketPtr p) { topo_.node(source_).send(std::move(p)); }
+  void send_from_source(const PacketPtr& p) { topo_.node(source_).send(p); }
 
  private:
   Topology& topo_;

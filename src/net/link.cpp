@@ -13,21 +13,26 @@ Link::Link(Simulator& sim, Node& to, LinkConfig cfg, Rng rng)
     red.min_th = red.max_th / 3.0;
     queue_ = std::make_unique<RedQueue>(red, rng_.substream(1));
   } else {
-    queue_ = std::make_unique<DropTailQueue>(cfg_.queue_limit_packets);
+    auto dt = std::make_unique<DropTailQueue>(cfg_.queue_limit_packets);
+    droptail_ = dt.get();
+    queue_ = std::move(dt);
   }
 }
 
-void Link::send(PacketPtr p) {
+void Link::send(const PacketPtr& p) {
   if (cfg_.loss_rate > 0.0 && rng_.bernoulli(cfg_.loss_rate)) {
     ++loss_drops_;
     return;
   }
-  if (!queue_->enqueue(std::move(p))) return;
+  const bool accepted = droptail_ != nullptr ? droptail_->enqueue(p)
+                                             : queue_->enqueue(p);
+  if (!accepted) return;
   if (!transmitting_) start_transmission();
 }
 
 void Link::start_transmission() {
-  PacketPtr p = queue_->dequeue();
+  PacketPtr p =
+      droptail_ != nullptr ? droptail_->dequeue() : queue_->dequeue();
   if (!p) return;
   transmitting_ = true;
   const SimTime tx = transmission_time(p->size_bytes);

@@ -47,7 +47,10 @@ class Link {
   Link& operator=(const Link&) = delete;
 
   /// Submit a packet for transmission (may be dropped by loss model/queue).
-  void send(PacketPtr p);
+  /// Takes a reference so multicast fan-out shares one PacketPtr across all
+  /// branches without per-branch refcount churn; the queue copies once on
+  /// accept.
+  void send(const PacketPtr& p);
 
   const LinkConfig& config() const { return cfg_; }
   Node& destination() { return to_; }
@@ -79,6 +82,9 @@ class Link {
   LinkConfig cfg_;
   Rng rng_;
   std::unique_ptr<Queue> queue_;
+  // Non-null when queue_ is the (overwhelmingly common) drop-tail queue:
+  // lets the two per-hop queue calls go direct instead of virtual.
+  DropTailQueue* droptail_{nullptr};
   bool transmitting_{false};
   SimTime last_arrival_{};  // FIFO guard: deliveries never reorder
   std::int64_t delivered_{0};

@@ -6,9 +6,24 @@
 
 namespace tfmcc {
 
-void Node::attach_agent(PortId port, Agent* agent) { agents_[port] = agent; }
+void Node::attach_agent(PortId port, Agent* agent) {
+  for (auto& [p, a] : agents_) {
+    if (p == port) {
+      a = agent;
+      return;
+    }
+  }
+  agents_.emplace_back(port, agent);
+}
 
-void Node::detach_agent(PortId port) { agents_.erase(port); }
+void Node::detach_agent(PortId port) {
+  for (auto it = agents_.begin(); it != agents_.end(); ++it) {
+    if (it->first == port) {
+      agents_.erase(it);
+      return;
+    }
+  }
+}
 
 void Node::set_route(NodeId dst, Link* next_hop) {
   const auto idx = static_cast<std::size_t>(dst);
@@ -34,7 +49,7 @@ void Node::receive(const PacketPtr& p) {
   }
 }
 
-void Node::send(PacketPtr p) {
+void Node::send(const PacketPtr& p) {
   if (p->is_multicast()) {
     // Source injection: replicate down the distribution tree from here.
     forward_multicast(p);
@@ -48,10 +63,12 @@ void Node::send(PacketPtr p) {
 }
 
 void Node::deliver_local(const PacketPtr& p) {
-  auto it = agents_.find(p->dport);
-  if (it != agents_.end()) {
-    ++delivered_local_;
-    it->second->handle_packet(*p);
+  for (const auto& [port, agent] : agents_) {
+    if (port == p->dport) {
+      ++delivered_local_;
+      agent->handle_packet(*p);
+      return;
+    }
   }
 }
 

@@ -1,7 +1,7 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "net/packet.hpp"
@@ -41,7 +41,7 @@ class Node {
   void receive(const PacketPtr& p);
 
   /// Entry point for agents sending a packet originating at this node.
-  void send(PacketPtr p);
+  void send(const PacketPtr& p);
 
   /// Routing: next-hop link for a unicast destination.
   void set_route(NodeId dst, Link* next_hop);
@@ -57,7 +57,9 @@ class Node {
 
   Topology& topo_;
   NodeId id_;
-  std::unordered_map<PortId, Agent*> agents_;
+  // A node hosts a handful of agents at most; a flat (port, agent) table
+  // beats a hash map for the per-delivery port lookup.
+  std::vector<std::pair<PortId, Agent*>> agents_;
   std::vector<Link*> routes_;  // indexed by destination NodeId
   std::int64_t forwarded_{0};
   std::int64_t delivered_local_{0};

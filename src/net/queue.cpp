@@ -5,26 +5,25 @@
 
 namespace tfmcc {
 
-bool DropTailQueue::enqueue(PacketPtr p) {
+bool DropTailQueue::enqueue(const PacketPtr& p) {
   if (q_.size() >= limit_) {
     ++drops_;
     return false;
   }
   bytes_ += p->size_bytes;
-  q_.push_back(std::move(p));
+  q_.push_back(p);
   ++accepted_;
   return true;
 }
 
 PacketPtr DropTailQueue::dequeue() {
-  if (q_.empty()) return nullptr;
-  PacketPtr p = std::move(q_.front());
-  q_.pop_front();
+  if (q_.size() == 0) return nullptr;
+  PacketPtr p = q_.pop_front();
   bytes_ -= p->size_bytes;
   return p;
 }
 
-bool RedQueue::enqueue(PacketPtr p) {
+bool RedQueue::enqueue(const PacketPtr& p) {
   // Update the average queue estimate on every arrival.
   avg_ = (1.0 - cfg_.weight) * avg_ + cfg_.weight * static_cast<double>(q_.size());
 
@@ -54,15 +53,14 @@ bool RedQueue::enqueue(PacketPtr p) {
     return false;
   }
   bytes_ += p->size_bytes;
-  q_.push_back(std::move(p));
+  q_.push_back(p);
   ++accepted_;
   return true;
 }
 
 PacketPtr RedQueue::dequeue() {
-  if (q_.empty()) return nullptr;
-  PacketPtr p = std::move(q_.front());
-  q_.pop_front();
+  if (q_.size() == 0) return nullptr;
+  PacketPtr p = q_.pop_front();
   bytes_ -= p->size_bytes;
   return p;
 }

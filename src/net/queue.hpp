@@ -1,13 +1,54 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <memory>
+#include <vector>
 
 #include "net/packet.hpp"
 #include "util/rng.hpp"
 
 namespace tfmcc {
+
+namespace detail {
+
+/// Fixed-capacity FIFO ring of PacketPtrs.  Queues have a hard packet
+/// limit, so a preallocated ring replaces per-node deque traffic on the
+/// enqueue/dequeue hot path (two queue ops per packet hop).
+class PacketRing {
+ public:
+  explicit PacketRing(std::size_t capacity)
+      : ring_(round_up_pow2(capacity)), mask_{ring_.size() - 1} {}
+
+  std::size_t size() const { return size_; }
+
+  void push_back(const PacketPtr& p) {
+    ring_[(head_ + size_) & mask_] = p;
+    ++size_;
+  }
+
+  PacketPtr pop_front() {
+    PacketPtr p = std::move(ring_[head_]);
+    head_ = (head_ + 1) & mask_;
+    --size_;
+    return p;
+  }
+
+ private:
+  // Power-of-two capacity: the index wrap is a mask, not a division, on a
+  // path taken twice per packet hop.
+  static std::size_t round_up_pow2(std::size_t n) {
+    std::size_t c = 1;
+    while (c < n) c <<= 1;
+    return c;
+  }
+
+  std::vector<PacketPtr> ring_;
+  std::size_t mask_;
+  std::size_t head_{0};
+  std::size_t size_{0};
+};
+
+}  // namespace detail
 
 /// Interface for a link's outbound packet queue.
 class Queue {
@@ -15,7 +56,9 @@ class Queue {
   virtual ~Queue() = default;
 
   /// Try to accept a packet.  Returns false if the packet was dropped.
-  virtual bool enqueue(PacketPtr p) = 0;
+  /// Takes a reference: an accepted packet costs exactly one refcount
+  /// increment (the queue's own copy), a dropped one costs none.
+  virtual bool enqueue(const PacketPtr& p) = 0;
   /// Remove and return the head packet; nullptr when empty.
   virtual PacketPtr dequeue() = 0;
 
@@ -36,9 +79,10 @@ class Queue {
 /// the routers", §4).
 class DropTailQueue final : public Queue {
  public:
-  explicit DropTailQueue(std::size_t limit_packets) : limit_{limit_packets} {}
+  explicit DropTailQueue(std::size_t limit_packets)
+      : limit_{limit_packets}, q_{limit_packets} {}
 
-  bool enqueue(PacketPtr p) override;
+  bool enqueue(const PacketPtr& p) override;
   PacketPtr dequeue() override;
 
   std::size_t size_packets() const override { return q_.size(); }
@@ -47,7 +91,7 @@ class DropTailQueue final : public Queue {
 
  private:
   std::size_t limit_;
-  std::deque<PacketPtr> q_;
+  detail::PacketRing q_;
   std::int64_t bytes_{0};
 };
 
@@ -66,9 +110,10 @@ class RedQueue final : public Queue {
     double weight{0.002}; // EWMA weight for the average queue size
   };
 
-  RedQueue(Config cfg, Rng rng) : cfg_{cfg}, rng_{std::move(rng)} {}
+  RedQueue(Config cfg, Rng rng)
+      : cfg_{cfg}, rng_{std::move(rng)}, q_{cfg.limit_packets} {}
 
-  bool enqueue(PacketPtr p) override;
+  bool enqueue(const PacketPtr& p) override;
   PacketPtr dequeue() override;
 
   std::size_t size_packets() const override { return q_.size(); }
@@ -78,7 +123,7 @@ class RedQueue final : public Queue {
  private:
   Config cfg_;
   Rng rng_;
-  std::deque<PacketPtr> q_;
+  detail::PacketRing q_;
   std::int64_t bytes_{0};
   double avg_{0.0};
   std::int64_t count_since_drop_{-1};

@@ -27,6 +27,7 @@ Link& Topology::add_link(NodeId from, NodeId to, const LinkConfig& cfg) {
       sim_, dst, cfg, sim_.make_rng(rng_stream_counter_++)));
   Link* l = links_.back().get();
   adjacency_.at(static_cast<std::size_t>(from)).emplace_back(to, l);
+  adjacency_index_dirty_ = true;
   return *l;
 }
 
@@ -38,31 +39,51 @@ std::pair<Link*, Link*> Topology::add_duplex_link(NodeId a, NodeId b,
 }
 
 Link* Topology::link_between(NodeId from, NodeId to) {
-  for (auto& [nbr, l] : adjacency_.at(static_cast<std::size_t>(from))) {
-    if (nbr == to) return l;
+  if (adjacency_index_dirty_) {
+    adjacency_sorted_ = adjacency_;
+    for (auto& row : adjacency_sorted_) {
+      // stable: among parallel links the first added stays first, so the
+      // lower_bound hit picks the same link the old linear scan did.
+      std::stable_sort(row.begin(), row.end(),
+                       [](const auto& a, const auto& b) {
+                         return a.first < b.first;
+                       });
+    }
+    adjacency_index_dirty_ = false;
   }
-  return nullptr;
+  const auto& row = adjacency_sorted_.at(static_cast<std::size_t>(from));
+  const auto it = std::lower_bound(
+      row.begin(), row.end(), to,
+      [](const std::pair<NodeId, Link*>& e, NodeId key) { return e.first < key; });
+  return (it != row.end() && it->first == to) ? it->second : nullptr;
 }
 
 void Topology::compute_routes() {
   // Dijkstra from every node.  Cost = (propagation delay, hop count); the
-  // priority queue's deterministic tie-break on node id keeps route choice
-  // stable across runs.
+  // heap's deterministic tie-break on node id keeps route choice stable
+  // across runs.  The distance table and heap storage are hoisted out of
+  // the per-source loop and reused, so an n-node topology does O(1)
+  // allocations here instead of O(n).
   const int n = node_count();
+  struct Dist {
+    std::int64_t delay_ns = std::numeric_limits<std::int64_t>::max();
+    int hops = std::numeric_limits<int>::max();
+    Link* first_link = nullptr;  // first hop on the path src -> node
+  };
+  std::vector<Dist> dist;
+  using QE = std::tuple<std::int64_t, int, NodeId>;
+  std::vector<QE> pq;
+  pq.reserve(static_cast<std::size_t>(n) * 2);
+  const auto heap_greater = std::greater<>{};
   for (NodeId src = 0; src < n; ++src) {
-    struct Dist {
-      std::int64_t delay_ns = std::numeric_limits<std::int64_t>::max();
-      int hops = std::numeric_limits<int>::max();
-      Link* first_link = nullptr;  // first hop on the path src -> node
-    };
-    std::vector<Dist> dist(static_cast<std::size_t>(n));
-    using QE = std::tuple<std::int64_t, int, NodeId>;
-    std::priority_queue<QE, std::vector<QE>, std::greater<>> pq;
+    dist.assign(static_cast<std::size_t>(n), Dist{});
+    pq.clear();
     dist[static_cast<std::size_t>(src)] = {0, 0, nullptr};
-    pq.emplace(0, 0, src);
+    pq.emplace_back(0, 0, src);
     while (!pq.empty()) {
-      auto [d, h, u] = pq.top();
-      pq.pop();
+      std::pop_heap(pq.begin(), pq.end(), heap_greater);
+      const auto [d, h, u] = pq.back();
+      pq.pop_back();
       auto& du = dist[static_cast<std::size_t>(u)];
       if (d != du.delay_ns || h != du.hops) continue;  // stale entry
       for (auto& [v, l] : adjacency_[static_cast<std::size_t>(u)]) {
@@ -73,7 +94,8 @@ void Topology::compute_routes() {
           dv.delay_ns = nd;
           dv.hops = nh;
           dv.first_link = (u == src) ? l : du.first_link;
-          pq.emplace(nd, nh, v);
+          pq.emplace_back(nd, nh, v);
+          std::push_heap(pq.begin(), pq.end(), heap_greater);
         }
       }
     }
@@ -103,6 +125,7 @@ SimTime Topology::path_delay(NodeId a, NodeId b) const {
 GroupId Topology::create_group(NodeId source) {
   GroupState g;
   g.source = source;
+  g.member_flags.resize(static_cast<std::size_t>(node_count()), 0);
   g.out_links.resize(static_cast<std::size_t>(node_count()));
   groups_.push_back(std::move(g));
   return static_cast<GroupId>(groups_.size() - 1);
@@ -111,18 +134,25 @@ GroupId Topology::create_group(NodeId source) {
 void Topology::join(GroupId gid, NodeId member) {
   auto& g = groups_.at(static_cast<std::size_t>(gid));
   g.members.insert(member);
+  const auto idx = static_cast<std::size_t>(member);
+  if (g.member_flags.size() <= idx) g.member_flags.resize(idx + 1, 0);
+  g.member_flags[idx] = 1;
   rebuild_tree(g);
 }
 
 void Topology::leave(GroupId gid, NodeId member) {
   auto& g = groups_.at(static_cast<std::size_t>(gid));
   g.members.erase(member);
+  const auto idx = static_cast<std::size_t>(member);
+  if (idx < g.member_flags.size()) g.member_flags[idx] = 0;
   rebuild_tree(g);
 }
 
 bool Topology::is_member(GroupId gid, NodeId n) const {
-  const auto& g = groups_.at(static_cast<std::size_t>(gid));
-  return g.members.count(n) > 0;
+  assert(static_cast<std::size_t>(gid) < groups_.size());
+  const auto& g = groups_[static_cast<std::size_t>(gid)];
+  const auto idx = static_cast<std::size_t>(n);
+  return idx < g.member_flags.size() && g.member_flags[idx] != 0;
 }
 
 int Topology::member_count(GroupId gid) const {
@@ -132,7 +162,8 @@ int Topology::member_count(GroupId gid) const {
 
 const std::vector<Link*>& Topology::mcast_out_links(GroupId gid,
                                                     NodeId at) const {
-  const auto& g = groups_.at(static_cast<std::size_t>(gid));
+  assert(static_cast<std::size_t>(gid) < groups_.size());
+  const auto& g = groups_[static_cast<std::size_t>(gid)];
   const auto idx = static_cast<std::size_t>(at);
   if (idx >= g.out_links.size()) return empty_links_;
   return g.out_links[idx];
@@ -145,7 +176,10 @@ void Topology::rebuild_tree(GroupState& g) {
   // union of the walks is a tree and no node receives duplicate copies.
   for (auto& v : g.out_links) v.clear();
   if (g.source == kInvalidNode) return;
-  std::vector<char> attached(static_cast<std::size_t>(node_count()), 0);
+  // Reused scratch: a 1000-member session rebuilds its tree on every join,
+  // and a fresh per-call vector was one allocation each time.
+  attached_scratch_.assign(static_cast<std::size_t>(node_count()), 0);
+  std::vector<char>& attached = attached_scratch_;
   for (NodeId m : g.members) {
     NodeId cur = m;
     int guard = node_count() + 1;

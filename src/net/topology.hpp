@@ -44,6 +44,9 @@ class Topology {
   Simulator& sim() { return sim_; }
 
   /// The link from `from` to its neighbour `to`, nullptr if not adjacent.
+  /// With parallel links the first one added wins, as before; lookups go
+  /// through a lazily (re)built sorted index, so tree rebuilds at a
+  /// 1000-leaf hub cost a binary search instead of a hub-degree scan.
   Link* link_between(NodeId from, NodeId to);
 
   // --- multicast ------------------------------------------------------------
@@ -66,6 +69,10 @@ class Topology {
   struct GroupState {
     NodeId source{kInvalidNode};
     std::set<NodeId> members;
+    // Direct-indexed membership mirror of `members`: is_member() runs once
+    // per node per multicast packet (the hottest query in large-receiver
+    // scenarios), so it must be an array load, not a tree search.
+    std::vector<char> member_flags;
     // out_links[node] = tree child links at that node.
     std::vector<std::vector<Link*>> out_links;
   };
@@ -76,9 +83,16 @@ class Topology {
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<std::unique_ptr<Link>> links_;
   // adjacency[from] = {(to, link)} for tree building and diagnostics.
+  // Insertion order is meaningful (Dijkstra relaxation order, parallel-link
+  // precedence) and must not be sorted in place.
   std::vector<std::vector<std::pair<NodeId, Link*>>> adjacency_;
+  // Stable-sorted copy of adjacency_ for link_between(); rebuilt on demand
+  // after topology edits.
+  std::vector<std::vector<std::pair<NodeId, Link*>>> adjacency_sorted_;
+  bool adjacency_index_dirty_{true};
   std::vector<GroupState> groups_;
   std::vector<Link*> empty_links_{};
+  std::vector<char> attached_scratch_;
   std::uint64_t rng_stream_counter_{1000};
 };
 

@@ -56,14 +56,12 @@ void PgmccSender::send_packets() {
 }
 
 void PgmccSender::transmit() {
-  auto pkt = std::make_shared<Packet>();
-  pkt->uid = sim_.next_uid();
+  auto pkt = sim_.make_packet();
   pkt->src = session_.source();
   pkt->sport = kPgmccSenderPort;
   pkt->dport = session_.data_port();
   pkt->group = session_.group();
   pkt->size_bytes = cfg_.packet_bytes;
-  pkt->created = sim_.now();
   TfmccDataHeader h;  // PGMCC reuses the data-header layout; clr == acker
   h.seqno = seqno_++;
   h.send_ts = sim_.now();
@@ -237,7 +235,7 @@ void PgmccReceiver::handle_packet(const Packet& p) {
   is_acker_ = (h->clr == id_);
 
   if (is_acker_) {
-    send_ack(*h, now);
+    send_ack(*h);
     return;
   }
   // Non-acker: report when we have something the election needs — a fresh
@@ -248,15 +246,13 @@ void PgmccReceiver::handle_packet(const Packet& p) {
   }
 }
 
-void PgmccReceiver::send_ack(const TfmccDataHeader& h, SimTime now) {
-  auto ack = std::make_shared<Packet>();
-  ack->uid = sim_.next_uid();
+void PgmccReceiver::send_ack(const TfmccDataHeader& h) {
+  auto ack = sim_.make_packet();
   ack->src = self_;
   ack->dst = session_.source();
   ack->sport = session_.data_port();
   ack->dport = kPgmccSenderPort;
   ack->size_bytes = cfg_.ack_bytes;
-  ack->created = now;
   PgmccAckHeader a;
   a.receiver = id_;
   a.seqno = h.seqno;
@@ -282,14 +278,12 @@ void PgmccReceiver::schedule_report(const TfmccDataHeader& h, SimTime now) {
 
 void PgmccReceiver::send_report(SimTime now) {
   if (!joined_) return;
-  auto rep = std::make_shared<Packet>();
-  rep->uid = sim_.next_uid();
+  auto rep = sim_.make_packet();
   rep->src = self_;
   rep->dst = session_.source();
   rep->sport = session_.data_port();
   rep->dport = kPgmccSenderPort;
   rep->size_bytes = cfg_.report_bytes;
-  rep->created = now;
   TfmccFeedbackHeader f;
   f.receiver = id_;
   f.loss_event_rate = loss_.loss_event_rate();

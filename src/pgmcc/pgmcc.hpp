@@ -19,6 +19,7 @@
 //    unreliable, exactly as PGMCC permits.
 
 #include <cstdint>
+#include <functional>
 #include <map>
 
 #include "mcast/session.hpp"
@@ -135,7 +136,7 @@ class PgmccReceiver final : public Agent {
   std::int64_t reports_sent() const { return reports_sent_; }
 
  private:
-  void send_ack(const TfmccDataHeader& h, SimTime now);
+  void send_ack(const TfmccDataHeader& h);
   void send_report(SimTime now);
   void schedule_report(const TfmccDataHeader& h, SimTime now);
 

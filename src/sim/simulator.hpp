@@ -2,14 +2,17 @@
 
 #include <cstdint>
 
+#include "net/packet.hpp"
 #include "sim/scheduler.hpp"
+#include "util/pool.hpp"
 #include "util/rng.hpp"
 #include "util/sim_time.hpp"
 
 namespace tfmcc {
 
 /// Simulation context handed to every component: the event scheduler plus a
-/// root RNG from which components derive their private streams.
+/// root RNG from which components derive their private streams, and the
+/// packet pool behind make_packet().
 class Simulator {
  public:
   explicit Simulator(std::uint64_t seed = 1) : root_rng_{seed}, seed_{seed} {}
@@ -39,7 +42,25 @@ class Simulator {
   /// Monotonically increasing id source for packets, flows, ...
   std::uint64_t next_uid() { return ++uid_; }
 
+  /// Checkout a fresh packet from the per-simulator pool, uid and creation
+  /// time already stamped.  One pool checkout per packet replaces the old
+  /// one-heap-allocation-per-packet: the block returns to the pool when the
+  /// last reference — queue entry, in-flight event capture — drops.
+  /// Packets must not outlive the Simulator.
+  MutablePacketPtr make_packet() {
+    MutablePacketPtr p = make_pooled_packet(packet_pool_);
+    p->uid = ++uid_;
+    p->created = sched_.now();
+    return p;
+  }
+
+  const FixedBlockPool& packet_pool() const { return packet_pool_; }
+
  private:
+  // Destruction is reverse declaration order: the pool is declared before
+  // the scheduler so packets captured in still-pending events are returned
+  // to a live pool when the scheduler is torn down.
+  FixedBlockPool packet_pool_;
   Scheduler sched_;
   Rng root_rng_;
   std::uint64_t seed_;

@@ -20,8 +20,11 @@ namespace tfmcc {
 
 namespace {
 
-/// Cap on buffered scenario runs (grid points times replicates): every
-/// run's full output is held until aggregation.
+/// Cap on scheduled scenario runs (grid points times replicates).  Purely a
+/// task-count guard against typo-sized grids: replicated sweeps stream each
+/// run's output into the statistics accumulators as it completes, so peak
+/// memory holds the in-flight runs and the accumulated data rows, not all
+/// grid x N outputs.
 constexpr std::size_t kMaxGridPoints = 1'000'000;
 
 std::string format_value(double v, bool integral) {
@@ -317,15 +320,88 @@ int run_sweep(const Scenario& scenario, const SweepOptions& sweep,
 
   // Run the grid (times replicates) on a fixed-size pool.  One task is one
   // scenario run; task t is replicate t % n_rep of grid point t / n_rep.
-  // Results land in task-indexed slots, so aggregation order — and the
-  // order rows feed the Welford accumulators — is independent of
-  // completion order.
+  // Replicated sweeps stream: whenever the next task *in task order* has
+  // completed, its output is folded into its grid point's statistics
+  // accumulator and the raw capture is released, so the accumulators see
+  // rows in exactly the order the old buffer-everything merge fed them —
+  // byte-identical output, independent of completion order — while peak
+  // memory holds only the in-flight window instead of all grid x N runs.
   const std::size_t n_tasks = grid.size() * static_cast<std::size_t>(n_rep);
   std::vector<PointResult> results(n_tasks);
   std::atomic<std::size_t> next_task{0};
   const bool err_is_stderr_tty = &err == &std::cerr && stderr_is_tty();
   ProgressReporter progress(n_tasks, sweep.progress || err_is_stderr_tty,
                             err_is_stderr_tty, err);
+
+  // Streaming fold state, all guarded by fold_mu.  Diagnostics produced
+  // mid-sweep are buffered and replayed after the progress line finishes:
+  // run failures (reported alone, like the old post-hoc scan) separately
+  // from the first merge error (reported only when every run succeeded).
+  std::mutex fold_mu;
+  std::vector<char> task_ready(n_tasks, 0);
+  std::size_t next_fold = 0;
+  std::string header;
+  std::vector<summary::ColumnSummary> per_point;
+  std::ostringstream failure_log;
+  std::ostringstream merge_log;
+  bool any_failed = false;
+  bool merge_failed = false;
+
+  // Folds one completed task (caller holds fold_mu; called in task order).
+  auto fold_task = [&](std::size_t t) {
+    PointResult& res = results[t];
+    const auto& point = grid[t / static_cast<std::size_t>(n_rep)];
+    const std::uint64_t rep = t % static_cast<std::size_t>(n_rep);
+    if (res.rc != 0) {
+      failure_log << "error: sweep point " << point_label(sweep.axes, point)
+                  << replicate_label(sweep, rep, n_rep) << " failed";
+      if (!res.error.empty()) {
+        failure_log << " with exception: " << res.error;
+      } else {
+        failure_log << " (exit code " << res.rc << ")";
+      }
+      failure_log << '\n';
+      any_failed = true;
+    } else if (n_rep > 1 && !any_failed && !merge_failed) {
+      std::istringstream is{res.output};
+      std::string line;
+      bool seen_header = false;
+      while (std::getline(is, line)) {
+        if (is_commentary(line)) continue;
+        if (!seen_header) {
+          seen_header = true;
+          if (header.empty()) {
+            header = line;
+            per_point.assign(grid.size(),
+                             summary::ColumnSummary{summary::split_csv(header)});
+          } else if (line != header) {
+            merge_log << "error: sweep point "
+                      << point_label(sweep.axes, point)
+                      << replicate_label(sweep, rep, n_rep)
+                      << " emitted CSV header '" << line
+                      << "' but earlier points emitted '" << header << "'\n";
+            merge_failed = true;
+            break;
+          }
+          continue;
+        }
+        auto& acc = per_point[t / static_cast<std::size_t>(n_rep)];
+        if (!acc.add_row(summary::split_csv(line), merge_log)) {
+          merge_log << "  (sweep point " << point_label(sweep.axes, point)
+                    << replicate_label(sweep, rep, n_rep) << ")\n";
+          merge_failed = true;
+          break;
+        }
+      }
+    }
+    // Streamed (or unusable): release the raw capture.  Single-replicate
+    // sweeps keep it — the raw rows are the output.
+    if (n_rep > 1) {
+      res.output.clear();
+      res.output.shrink_to_fit();
+    }
+  };
+
   auto worker = [&] {
     for (;;) {
       const std::size_t t = next_task.fetch_add(1);
@@ -357,6 +433,14 @@ int run_sweep(const Scenario& scenario, const SweepOptions& sweep,
         results[t].error = "unknown exception";
       }
       results[t].output = sink.str();
+      {
+        std::lock_guard<std::mutex> lock(fold_mu);
+        task_ready[t] = 1;
+        while (next_fold < n_tasks && task_ready[next_fold] != 0) {
+          fold_task(next_fold);
+          ++next_fold;
+        }
+      }
       progress.task_done();
     }
   };
@@ -372,66 +456,46 @@ int run_sweep(const Scenario& scenario, const SweepOptions& sweep,
   }
   progress.finish();
 
-  int rc = 0;
-  for (std::size_t t = 0; t < n_tasks; ++t) {
-    if (results[t].rc != 0) {
-      const auto& point = grid[t / static_cast<std::size_t>(n_rep)];
-      err << "error: sweep point " << point_label(sweep.axes, point)
-          << replicate_label(sweep, t % static_cast<std::size_t>(n_rep),
-                             n_rep)
-          << " failed";
-      if (!results[t].error.empty()) {
-        err << " with exception: " << results[t].error;
-      } else {
-        err << " (exit code " << results[t].rc << ")";
-      }
-      err << '\n';
-      rc = 1;
-    }
-  }
-  if (rc != 0) return rc;
-
-  // Merge: one shared header (every run must agree on it), then every
-  // run's data rows parsed out in task order.
-  std::string header;
-  std::vector<std::vector<std::string>> rows_per_task(n_tasks);
-  for (std::size_t t = 0; t < n_tasks; ++t) {
-    std::istringstream is{results[t].output};
-    std::string line;
-    bool seen_header = false;
-    while (std::getline(is, line)) {
-      if (is_commentary(line)) continue;
-      if (!seen_header) {
-        seen_header = true;
-        if (header.empty()) {
-          header = line;
-        } else if (line != header) {
-          err << "error: sweep point "
-              << point_label(sweep.axes,
-                             grid[t / static_cast<std::size_t>(n_rep)])
-              << replicate_label(sweep,
-                                 t % static_cast<std::size_t>(n_rep), n_rep)
-              << " emitted CSV header '" << line
-              << "' but earlier points emitted '" << header << "'\n";
-          return 1;
-        }
-        continue;
-      }
-      rows_per_task[t].push_back(line);
-    }
-    // The raw capture is fully parsed; release it so peak memory holds one
-    // copy of the rows, not two.
-    results[t].output.clear();
-    results[t].output.shrink_to_fit();
-  }
-  if (header.empty()) {
-    err << "error: no CSV trace found in any sweep point's output\n";
+  if (any_failed) {
+    err << failure_log.str();
     return 1;
   }
 
   if (n_rep == 1) {
-    // Raw aggregate: each point's data rows in grid order with the swept
+    // Raw aggregate: parse out one shared header (every run must agree on
+    // it) and each point's data rows, emitted in grid order with the swept
     // values prepended.
+    std::vector<std::vector<std::string>> rows_per_task(n_tasks);
+    for (std::size_t t = 0; t < n_tasks; ++t) {
+      std::istringstream is{results[t].output};
+      std::string line;
+      bool seen_header = false;
+      while (std::getline(is, line)) {
+        if (is_commentary(line)) continue;
+        if (!seen_header) {
+          seen_header = true;
+          if (header.empty()) {
+            header = line;
+          } else if (line != header) {
+            err << "error: sweep point "
+                << point_label(sweep.axes, grid[t])
+                << " emitted CSV header '" << line
+                << "' but earlier points emitted '" << header << "'\n";
+            return 1;
+          }
+          continue;
+        }
+        rows_per_task[t].push_back(line);
+      }
+      // The raw capture is fully parsed; release it so peak memory holds
+      // one copy of the rows, not two.
+      results[t].output.clear();
+      results[t].output.shrink_to_fit();
+    }
+    if (header.empty()) {
+      err << "error: no CSV trace found in any sweep point's output\n";
+      return 1;
+    }
     for (const auto& axis : sweep.axes) out << axis.key << ',';
     out << header << '\n';
     for (std::size_t i = 0; i < grid.size(); ++i) {
@@ -443,34 +507,20 @@ int run_sweep(const Scenario& scenario, const SweepOptions& sweep,
     return 0;
   }
 
-  // Replicated aggregate: collapse each point's rows — across all of its
-  // replicates, in replicate order — into statistics rows, one per
-  // distinct label tuple (all-numeric traces collapse to exactly one row
-  // per point; a per-flow trace keeps one row per flow).  Column
-  // classification (numeric vs label) must agree across points, or the
-  // expanded headers would disagree row by row; diverging points are a
-  // diagnosed error, not silently mixed columns.
-  const std::vector<std::string> columns = summary::split_csv(header);
-  std::vector<summary::ColumnSummary> per_point;
-  per_point.reserve(grid.size());
-  for (std::size_t i = 0; i < grid.size(); ++i) {
-    summary::ColumnSummary acc{columns};
-    for (int r = 0; r < n_rep; ++r) {
-      const std::size_t t = i * static_cast<std::size_t>(n_rep) +
-                            static_cast<std::size_t>(r);
-      for (const auto& row : rows_per_task[t]) {
-        if (!acc.add_row(summary::split_csv(row), err)) {
-          err << "  (sweep point " << point_label(sweep.axes, grid[i])
-              << replicate_label(sweep, static_cast<std::uint64_t>(r),
-                                 n_rep)
-              << ")\n";
-          return 1;
-        }
-      }
-      rows_per_task[t].clear();
-      rows_per_task[t].shrink_to_fit();
-    }
-    per_point.push_back(std::move(acc));
+  // Replicated aggregate: the accumulators already hold each point's rows —
+  // across all of its replicates, in replicate order — and collapse into
+  // statistics rows, one per distinct label tuple (all-numeric traces
+  // collapse to exactly one row per point; a per-flow trace keeps one row
+  // per flow).  Column classification (numeric vs label) must agree across
+  // points, or the expanded headers would disagree row by row; diverging
+  // points are a diagnosed error, not silently mixed columns.
+  if (merge_failed) {
+    err << merge_log.str();
+    return 1;
+  }
+  if (header.empty()) {
+    err << "error: no CSV trace found in any sweep point's output\n";
+    return 1;
   }
 
   // The reference header comes from the first point that produced rows;

@@ -19,7 +19,12 @@
 // ScenarioOptions::set_output); the aggregator then emits rows in
 // deterministic grid order — axes vary with the last `--sweep` fastest —
 // regardless of completion order, so `--jobs 1` and `--jobs N` produce
-// byte-identical output.  Figure-header/CHECK/NOTE commentary from the
+// byte-identical output.  Replicated sweeps stream: each run's output is
+// folded into its grid point's statistics accumulator as soon as every
+// earlier task (in task order) has completed, and the raw capture is
+// released — the accumulators see rows in the same order a serial sweep
+// would feed them, while peak memory holds the in-flight window instead of
+// all grid x N outputs.  Figure-header/CHECK/NOTE commentary from the
 // points is dropped from the aggregate; per-point CSV headers must agree.
 //
 // `--replicate N` runs every grid point N times with per-replicate seeds

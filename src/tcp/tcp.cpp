@@ -47,14 +47,12 @@ void TcpSender::try_send() {
 }
 
 void TcpSender::transmit(std::int64_t seqno, bool retransmit) {
-  auto pkt = std::make_shared<Packet>();
-  pkt->uid = sim_.next_uid();
+  auto pkt = sim_.make_packet();
   pkt->src = self_;
   pkt->dst = peer_;
   pkt->sport = port_;
   pkt->dport = peer_port_;
   pkt->size_bytes = cfg_.packet_bytes;
-  pkt->created = sim_.now();
   TcpHeader h;
   h.flow = flow_;
   h.seqno = seqno;
@@ -194,14 +192,12 @@ void TcpSink::handle_packet(const Packet& p) {
   }
   // else: old duplicate; still ACK (cumulative).
 
-  auto ack = std::make_shared<Packet>();
-  ack->uid = sim_.next_uid();
+  auto ack = sim_.make_packet();
   ack->src = self_;
   ack->dst = p.src;
   ack->sport = port_;
   ack->dport = p.sport;
   ack->size_bytes = ack_bytes_;
-  ack->created = sim_.now();
   TcpHeader ah;
   ah.flow = h->flow;
   ah.is_ack = true;

@@ -40,14 +40,12 @@ void TfmccReceiver::leave() {
   if (!joined_) return;
   // Explicit leave report (§4.2): lets the sender react in one RTT instead
   // of waiting for the CLR silence timeout.
-  auto fb = std::make_shared<Packet>();
-  fb->uid = sim_.next_uid();
+  auto fb = sim_.make_packet();
   fb->src = self_;
   fb->dst = session_.source();
   fb->sport = session_.data_port();
   fb->dport = kTfmccSenderPort;
   fb->size_bytes = cfg_.feedback_bytes;
-  fb->created = sim_.now();
   TfmccFeedbackHeader h;
   h.receiver = id_;
   h.round = round_;
@@ -258,14 +256,12 @@ void TfmccReceiver::send_feedback() {
   if (!joined_) return;
   const SimTime now = sim_.now();
 
-  auto fb = std::make_shared<Packet>();
-  fb->uid = sim_.next_uid();
+  auto fb = sim_.make_packet();
   fb->src = self_;
   fb->dst = session_.source();
   fb->sport = session_.data_port();
   fb->dport = kTfmccSenderPort;
   fb->size_bytes = cfg_.feedback_bytes;
-  fb->created = now;
 
   TfmccFeedbackHeader h;
   h.receiver = id_;

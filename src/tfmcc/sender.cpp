@@ -19,6 +19,7 @@ TfmccSender::TfmccSender(Simulator& sim, MulticastSession& session,
       rate_{static_cast<double>(cfg.packet_bytes) /
             cfg.initial_rtt.to_seconds()} {
   // Initial rate: one packet per (initial) RTT, as in TFRC.
+  echo_queue_.reserve(kMaxEchoQueue);
   session_.topology()
       .node(session_.source())
       .attach_agent(kTfmccSenderPort, this);
@@ -160,14 +161,12 @@ void TfmccSender::send_data() {
   }
   if (slowstart_) peak_ss_rate_ = std::max(peak_ss_rate_, rate_);
 
-  auto pkt = std::make_shared<Packet>();
-  pkt->uid = sim_.next_uid();
+  auto pkt = sim_.make_packet();
   pkt->src = session_.source();
   pkt->sport = kTfmccSenderPort;
   pkt->dport = session_.data_port();
   pkt->group = session_.group();
   pkt->size_bytes = cfg_.packet_bytes;
-  pkt->created = now;
 
   TfmccDataHeader h;
   h.seqno = seqno_++;

@@ -40,9 +40,23 @@ void TimeSeries::write_csv(std::ostream& os, const std::string& label) const {
 
 void ThroughputBinner::add(SimTime t, std::int64_t bytes) {
   assert(t >= SimTime::zero());
-  const auto idx = static_cast<std::size_t>(t.count_nanos() / width_.count_nanos());
-  if (bins_.size() <= idx) bins_.resize(idx + 1, 0);
-  bins_[idx] += bytes;
+  // Arrivals are time-ordered, so the bin index is almost always the one
+  // from the previous call (or the next few): track the current bin's
+  // bounds and step forward instead of dividing 64-bit nanoseconds per
+  // packet.  Large jumps (long silences, late joins) fall back to the
+  // division once and re-anchor.
+  const std::int64_t ns = t.count_nanos();
+  if (ns < cur_start_ns_ || ns - cur_start_ns_ >= 64 * width_.count_nanos()) {
+    cur_idx_ = static_cast<std::size_t>(ns / width_.count_nanos());
+    cur_start_ns_ = static_cast<std::int64_t>(cur_idx_) * width_.count_nanos();
+  } else {
+    while (ns - cur_start_ns_ >= width_.count_nanos()) {
+      ++cur_idx_;
+      cur_start_ns_ += width_.count_nanos();
+    }
+  }
+  if (bins_.size() <= cur_idx_) bins_.resize(cur_idx_ + 1, 0);
+  bins_[cur_idx_] += bytes;
   total_bytes_ += bytes;
 }
 
@@ -67,20 +81,21 @@ double ThroughputBinner::mean_kbps(SimTime from, SimTime to) const {
 }
 
 void WindowedRateMeter::on_packet(SimTime t, std::int64_t bytes) {
-  arrivals_.push_back({t, bytes});
-  while (arrivals_.size() > max_packets_ ||
-         (arrivals_.size() >= 2 && t - arrivals_.front().t > horizon_)) {
-    arrivals_.pop_front();
+  if (ring_.empty()) ring_.resize(max_packets_ + 1);
+  ring_[wrap(head_ + size_)] = {t, bytes};
+  ++size_;
+  window_bytes_ += bytes;
+  while (size_ > max_packets_ || (size_ >= 2 && t - ring_[head_].t > horizon_)) {
+    pop_front();
   }
 }
 
 double WindowedRateMeter::rate_Bps(SimTime now) const {
-  if (arrivals_.size() < 2) return 0.0;
+  if (size_ < 2) return 0.0;
   // Exclude the first packet's bytes: they arrived at the window's start
   // instant, so only the span after it carries the remaining bytes.
-  std::int64_t bytes = 0;
-  for (std::size_t i = 1; i < arrivals_.size(); ++i) bytes += arrivals_[i].bytes;
-  const SimTime span = std::max(now, arrivals_.back().t) - arrivals_.front().t;
+  const std::int64_t bytes = window_bytes_ - ring_[head_].bytes;
+  const SimTime span = std::max(now, at(size_ - 1).t) - ring_[head_].t;
   if (span <= SimTime::zero()) return 0.0;
   return static_cast<double>(bytes) / span.to_seconds();
 }

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
-#include <deque>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -83,6 +82,9 @@ class ThroughputBinner {
   SimTime width_;
   std::vector<std::int64_t> bins_;  // bytes per bin, bin i covers [i*w,(i+1)*w)
   std::int64_t total_bytes_{0};
+  // Current-bin anchor for the divisionless fast path in add().
+  std::size_t cur_idx_{0};
+  std::int64_t cur_start_ns_{0};
 };
 
 /// Sliding-window receive-rate estimator: rate over the span of the last
@@ -100,17 +102,44 @@ class WindowedRateMeter {
   /// Receive rate in bytes/second; 0 until two packets have arrived.
   double rate_Bps(SimTime now) const;
 
-  bool has_estimate() const { return arrivals_.size() >= 2; }
-  void clear() { arrivals_.clear(); }
+  bool has_estimate() const { return size_ >= 2; }
+  void clear() {
+    head_ = 0;
+    size_ = 0;
+    window_bytes_ = 0;
+  }
 
  private:
+  // Fixed ring buffer: this runs once per delivered packet for every
+  // receiver, so eviction must be pointer bumps, not deque node traffic.
+  // window_bytes_ tracks the exact integer sum of the buffered arrivals,
+  // making rate_Bps O(1) with bit-identical results (int64 addition is
+  // associative, unlike the float sums it feeds).
   struct Arrival {
     SimTime t;
     std::int64_t bytes;
   };
+  std::size_t wrap(std::size_t i) const {  // i < 2 * capacity
+    return i >= ring_.size() ? i - ring_.size() : i;
+  }
+  const Arrival& at(std::size_t i) const {  // i-th oldest
+    return ring_[wrap(head_ + i)];
+  }
+  void pop_front() {
+    window_bytes_ -= ring_[head_].bytes;
+    head_ = wrap(head_ + 1);
+    --size_;
+  }
+
   std::size_t max_packets_;
   SimTime horizon_;
-  std::deque<Arrival> arrivals_;
+  // Exact capacity max_packets_ + 1, lazily sized; the wrap is a
+  // well-predicted compare, and the tight capacity keeps the per-receiver
+  // footprint small (a 1000-receiver run holds 1000 of these rings).
+  std::vector<Arrival> ring_;
+  std::size_t head_{0};
+  std::size_t size_{0};
+  std::int64_t window_bytes_{0};
 };
 
 /// Fixed-bin histogram over [lo, hi); out-of-range samples clamp to the

@@ -16,7 +16,7 @@ using QParam = std::tuple<int, double, int>;
 class QueueSweep : public ::testing::TestWithParam<QParam> {};
 
 PacketPtr mk(std::uint64_t uid, std::int32_t bytes) {
-  auto p = std::make_shared<Packet>();
+  auto p = make_heap_packet();
   p->uid = uid;
   p->size_bytes = bytes;
   return p;

@@ -1,0 +1,210 @@
+// Property tests for the pooled scheduler: random schedule / cancel / step
+// workloads are replayed against a reference oracle built on
+// std::priority_queue with lazy tombstones (the data structure the pooled
+// indexed heap replaced).  Execution order, timestamps, counters, and
+// pending() answers must match exactly — (time, seq) is a total order, so
+// any divergence is a heap bug, not a tie-break ambiguity.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <queue>
+#include <random>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "sim/scheduler.hpp"
+
+namespace tfmcc {
+namespace {
+
+/// Reference semantics: a lazy-deletion priority queue over (t, seq).
+class OracleScheduler {
+ public:
+  std::uint64_t schedule_at(SimTime t, std::uint64_t /*token unused*/ = 0) {
+    const std::uint64_t seq = next_seq_++;
+    heap_.emplace(t, seq);
+    pending_.insert(seq);
+    return seq;
+  }
+
+  bool pending(std::uint64_t seq) const { return pending_.count(seq) > 0; }
+
+  void cancel(std::uint64_t seq) { pending_.erase(seq); }
+
+  /// Fires the next live event; returns its seq or -1 when drained.
+  std::int64_t step(SimTime& now) {
+    while (!heap_.empty()) {
+      auto [t, seq] = heap_.top();
+      if (pending_.count(seq) == 0) {
+        heap_.pop();
+        continue;  // tombstone
+      }
+      heap_.pop();
+      pending_.erase(seq);
+      now = t;
+      return static_cast<std::int64_t>(seq);
+    }
+    return -1;
+  }
+
+  bool empty() const {
+    for (const auto& e : pending_) {
+      (void)e;
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  struct Earlier {
+    bool operator()(const std::pair<SimTime, std::uint64_t>& a,
+                    const std::pair<SimTime, std::uint64_t>& b) const {
+      if (a.first != b.first) return a.first > b.first;
+      return a.second > b.second;
+    }
+  };
+  std::priority_queue<std::pair<SimTime, std::uint64_t>,
+                      std::vector<std::pair<SimTime, std::uint64_t>>, Earlier>
+      heap_;
+  std::set<std::uint64_t> pending_;
+  std::uint64_t next_seq_{0};
+};
+
+struct Tracked {
+  EventId id;
+  std::uint64_t oracle_seq;
+};
+
+/// Runs one randomized churn workload and checks every observable against
+/// the oracle.  `cancel_weight` skews the op mix towards cancellations.
+void churn_against_oracle(std::uint32_t seed, int ops, int cancel_weight) {
+  std::mt19937 rng{seed};
+  Scheduler sched;
+  OracleScheduler oracle;
+  std::vector<std::uint64_t> fired;         // oracle seqs, scheduler's order
+  std::vector<std::uint64_t> oracle_fired;  // oracle seqs, oracle's order
+  std::vector<Tracked> live;
+
+  for (int op = 0; op < ops; ++op) {
+    const int kind = static_cast<int>(rng() % static_cast<std::uint32_t>(4 + cancel_weight));
+    if (kind == 0 || live.empty()) {
+      // Schedule at now + random small delay (ties are common on purpose).
+      const SimTime t =
+          sched.now() + SimTime::micros(static_cast<std::int64_t>(rng() % 50));
+      const std::uint64_t oseq = oracle.schedule_at(t);
+      EventId id = sched.schedule_at(
+          t, [oseq, &fired] { fired.push_back(oseq); });
+      EXPECT_TRUE(id.pending());
+      live.push_back({id, oseq});
+    } else if (kind == 1) {
+      //
+
+      SimTime now{};
+      const std::int64_t oseq = oracle.step(now);
+      const bool stepped = sched.step();
+      EXPECT_EQ(stepped, oseq >= 0);
+      if (oseq >= 0) {
+        ASSERT_FALSE(fired.empty());
+        oracle_fired.push_back(static_cast<std::uint64_t>(oseq));
+        EXPECT_EQ(fired.back(), static_cast<std::uint64_t>(oseq));
+        EXPECT_EQ(sched.now(), now);
+      }
+    } else {
+      // Cancel a random tracked event (may already be fired/cancelled).
+      const std::size_t pick = rng() % live.size();
+      const Tracked& victim = live[pick];
+      EXPECT_EQ(victim.id.pending(), oracle.pending(victim.oracle_seq));
+      sched.cancel(victim.id);
+      oracle.cancel(victim.oracle_seq);
+      EXPECT_FALSE(victim.id.pending());
+      if (live.size() > 64) {
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+      }
+    }
+    EXPECT_EQ(sched.empty(), oracle.empty());
+  }
+
+  // Drain: the remaining live events must come out in oracle order.
+  for (;;) {
+    SimTime now{};
+    const std::int64_t oseq = oracle.step(now);
+    const bool stepped = sched.step();
+    ASSERT_EQ(stepped, oseq >= 0);
+    if (oseq < 0) break;
+    oracle_fired.push_back(static_cast<std::uint64_t>(oseq));
+    EXPECT_EQ(fired.back(), static_cast<std::uint64_t>(oseq));
+    EXPECT_EQ(sched.now(), now);
+  }
+  EXPECT_EQ(fired, oracle_fired);
+  EXPECT_TRUE(sched.empty());
+}
+
+TEST(SchedulerProperties, MatchesOracleUnderMixedChurn) {
+  for (std::uint32_t seed = 1; seed <= 8; ++seed) {
+    churn_against_oracle(seed, 4000, /*cancel_weight=*/0);
+  }
+}
+
+TEST(SchedulerProperties, MatchesOracleUnderCancellationHeavyChurn) {
+  // Cancellations outnumber schedules ~3:1 — the regime where the old lazy
+  // tombstone heap and the new in-place removal diverge the most.
+  for (std::uint32_t seed = 100; seed <= 106; ++seed) {
+    churn_against_oracle(seed, 4000, /*cancel_weight=*/8);
+  }
+}
+
+TEST(SchedulerProperties, FifoOrderPreservedAcrossSlotReuse) {
+  // Schedule waves at one timestamp with interleaved cancellations; firing
+  // order must stay exactly insertion order among survivors, wave after
+  // wave, even though waves reuse each other's slots.
+  Scheduler s;
+  std::mt19937 rng{7};
+  for (int wave = 0; wave < 50; ++wave) {
+    std::vector<int> fired;
+    std::vector<EventId> ids;
+    const SimTime t = s.now() + SimTime::millis(1);
+    for (int i = 0; i < 40; ++i) {
+      ids.push_back(s.schedule_at(t, [i, &fired] { fired.push_back(i); }));
+    }
+    std::vector<int> expect;
+    for (int i = 0; i < 40; ++i) {
+      if (rng() % 3 == 0) {
+        s.cancel(ids[static_cast<std::size_t>(i)]);
+      } else {
+        expect.push_back(i);
+      }
+    }
+    s.run();
+    EXPECT_EQ(fired, expect) << "wave " << wave;
+  }
+}
+
+TEST(SchedulerProperties, ExecutedCounterMatchesOracleFireCount) {
+  Scheduler s;
+  std::mt19937 rng{42};
+  std::uint64_t expected = 0;
+  std::vector<EventId> ids;
+  for (int round = 0; round < 30; ++round) {
+    ids.clear();
+    const int n = 1 + static_cast<int>(rng() % 50);
+    for (int i = 0; i < n; ++i) {
+      ids.push_back(s.schedule_in(
+          SimTime::micros(static_cast<std::int64_t>(rng() % 100)), [] {}));
+    }
+    int cancelled = 0;
+    for (auto& id : ids) {
+      if (rng() % 2 == 0) {
+        s.cancel(id);
+        ++cancelled;
+      }
+    }
+    expected += static_cast<std::uint64_t>(n - cancelled);
+    s.run();
+  }
+  EXPECT_EQ(s.executed(), expected);
+}
+
+}  // namespace
+}  // namespace tfmcc

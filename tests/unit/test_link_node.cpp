@@ -31,7 +31,7 @@ class RecordingAgent final : public Agent {
 
 PacketPtr make_unicast(Simulator& sim, NodeId src, NodeId dst, PortId dport,
                        std::int32_t bytes) {
-  auto p = std::make_shared<Packet>();
+  auto p = make_heap_packet();
   p->uid = sim.next_uid();
   p->src = src;
   p->dst = dst;

@@ -24,7 +24,7 @@ class CountingAgent final : public Agent {
 };
 
 PacketPtr make_mcast(Simulator& sim, NodeId src, GroupId g, PortId dport) {
-  auto p = std::make_shared<Packet>();
+  auto p = make_heap_packet();
   p->uid = sim.next_uid();
   p->src = src;
   p->group = g;

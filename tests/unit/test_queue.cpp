@@ -8,7 +8,7 @@ namespace tfmcc {
 namespace {
 
 PacketPtr make_packet(std::int32_t bytes, std::uint64_t uid = 0) {
-  auto p = std::make_shared<Packet>();
+  auto p = make_heap_packet();
   p->uid = uid;
   p->size_bytes = bytes;
   return p;
