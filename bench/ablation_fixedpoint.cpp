@@ -1,0 +1,136 @@
+// Ablation: float vs fixed-point control equation.  The table-driven
+// scaled-integer backend (tfrc/equation_fixed.hpp) trades double-precision
+// evaluation of the Padhye equation for two 500-entry lookup tables with
+// linear interpolation — the form a kernel or embedded implementation
+// would use.  This scenario quantifies the fidelity cost:
+//   (a) rate fidelity: relative error of the fixed-point throughput vs the
+//       float backend over a log-grid of loss event rates crossed with an
+//       RTT ladder, plus the reverse-lookup round-trip error;
+//   (b) loss tracking: divergence between an integer EWMA (micro-units,
+//       tenths weight) and the equivalent double EWMA over a scripted
+//       loss-rate trajectory (ramp up, congestion step down).
+// Below p = 1e-4 the fixed backend saturates by design (the table floor,
+// like the kernel's TFRC_SMALLEST_P), so the error bound is only checked
+// for p >= 1e-4.
+
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <string>
+
+#include "bench_util.hpp"
+#include "tfrc/equation_fixed.hpp"
+#include "util/csv.hpp"
+
+TFMCC_SCENARIO(ablation_fixedpoint,
+               "Ablation: fixed-point equation backend fidelity vs float",
+               tfmcc::param("p_points", 60,
+                            "log-grid points over [p_min, 0.5]", 8),
+               tfmcc::param("p_min", 1e-6, "lowest swept loss event rate",
+                            1e-9),
+               tfmcc::param("ewma_steps", 200,
+                            "steps of the loss-tracking trajectory", 10),
+               tfmcc::param("packet_bytes", 1000.0, "segment size", 1.0)) {
+  using tfmcc::bench::check;
+  using tfmcc::bench::figure_header;
+  using tfmcc::bench::note;
+  namespace fp = tfmcc::fixedpoint;
+
+  figure_header(opts.out(), "Ablation",
+                "Fixed-point equation backend: fidelity vs float");
+
+  const int p_points = opts.param_or("p_points", 60);
+  const double p_min = opts.param_or("p_min", 1e-6);
+  const int ewma_steps = opts.param_or("ewma_steps", 200);
+  const double s = opts.param_or("packet_bytes", 1000.0);
+  const tfmcc::EquationBackend& flt = tfmcc::float_equation_backend();
+  const tfmcc::EquationBackend& fix = tfmcc::fixed_equation_backend();
+
+  // (a) Rate fidelity over p x RTT.  The grid is log-spaced so the table's
+  // two segments (dense below p = 0.05, coarse above) are both exercised;
+  // the RTT ladder spans LAN to satellite-class paths.
+  tfmcc::CsvWriter csv(opts.out(),
+                       {"rtt_ms", "p", "x_float_Bps", "x_fixed_Bps",
+                        "rel_err", "p_roundtrip_rel_err"});
+  const double kPMax = 0.5;
+  double max_err_checked = 0.0;     // p in [1e-4, 0.5]
+  double max_err_saturated = 0.0;   // p below the table floor
+  double max_roundtrip_err = 0.0;   // p in [1e-4, 0.5]
+  for (const std::int64_t rtt_ms : {10, 50, 200, 500}) {
+    const tfmcc::SimTime rtt = tfmcc::SimTime::millis(rtt_ms);
+    for (int i = 0; i < p_points; ++i) {
+      const double frac =
+          p_points > 1 ? static_cast<double>(i) / (p_points - 1) : 1.0;
+      const double p = p_min * std::pow(kPMax / p_min, frac);
+      const double x_f = flt.throughput_Bps(s, rtt, p);
+      const double x_i = fix.throughput_Bps(s, rtt, p);
+      const double rel_err = std::fabs(x_i - x_f) / x_f;
+
+      // Round trip p -> f(p) -> p through the reverse lookup.
+      const auto p_scaled = static_cast<std::uint32_t>(
+          std::lround(p * static_cast<double>(fp::kPScale)));
+      const std::uint32_t p_back =
+          fp::calc_x_reverse_lookup(fp::lookup_f(p_scaled));
+      const double rt_err =
+          p_scaled == 0
+              ? 0.0
+              : std::fabs(static_cast<double>(p_back) -
+                          static_cast<double>(std::max(p_scaled,
+                                                       fp::kSmallestP))) /
+                    static_cast<double>(std::max(p_scaled, fp::kSmallestP));
+
+      csv.row(rtt_ms, p, x_f, x_i, rel_err, rt_err);
+      if (p >= 1e-4) {
+        max_err_checked = std::max(max_err_checked, rel_err);
+        max_roundtrip_err = std::max(max_roundtrip_err, rt_err);
+      } else {
+        max_err_saturated = std::max(max_err_saturated, rel_err);
+      }
+    }
+  }
+
+  // (b) Loss tracking: integer vs double EWMA (90% history, the kernel's
+  // tenths weighting) over a scripted trajectory — a log-ramp from 0.1% to
+  // 10% loss followed by a step back down to 0.5%.
+  tfmcc::CsvWriter ewma_csv(
+      opts.out(), {"step", "p_true", "p_float_ewma", "p_fixed_ewma",
+                   "divergence_rel"});
+  double max_track_err = 0.0;
+  double avg_f = 0.0;
+  std::uint32_t avg_i = 0;
+  const int ramp = (2 * ewma_steps) / 3;
+  for (int t = 0; t < ewma_steps; ++t) {
+    double p_true;
+    if (t < ramp) {
+      p_true = 0.001 * std::pow(100.0, static_cast<double>(t) /
+                                           std::max(1, ramp - 1));
+    } else {
+      p_true = 0.005;
+    }
+    const auto p_scaled = static_cast<std::uint32_t>(
+        std::lround(p_true * static_cast<double>(fp::kPScale)));
+    avg_f = avg_f == 0.0 ? p_true : 0.9 * avg_f + 0.1 * p_true;
+    avg_i = fp::ewma(avg_i, p_scaled, 9);
+    const double fixed_p =
+        static_cast<double>(avg_i) / static_cast<double>(fp::kPScale);
+    const double div_rel = std::fabs(fixed_p - avg_f) / avg_f;
+    max_track_err = std::max(max_track_err, div_rel);
+    ewma_csv.row(t, p_true, avg_f, fixed_p, div_rel);
+  }
+
+  note(opts.out(), "max relative rate error for p in [1e-4, 0.5]: " +
+                       std::to_string(max_err_checked) +
+                       "; below the table floor (saturated): " +
+                       std::to_string(max_err_saturated));
+  note(opts.out(), "max reverse-lookup round-trip error: " +
+                       std::to_string(max_roundtrip_err) +
+                       "; max EWMA tracking divergence: " +
+                       std::to_string(max_track_err));
+  check(opts.out(), max_err_checked <= 0.05,
+        "fixed-point rate within 5% of float for p in [1e-4, 0.5]");
+  check(opts.out(), max_roundtrip_err <= 0.05,
+        "reverse lookup round-trips p within 5% above the table floor");
+  check(opts.out(), max_track_err <= 0.01,
+        "integer EWMA tracks the double EWMA within 1%");
+  return 0;
+}

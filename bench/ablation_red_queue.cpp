@@ -17,7 +17,8 @@ using namespace tfmcc::time_literals;
 
 /// |log(tfmcc/tcp)| fairness distance (0 = perfectly fair).
 double fairness_distance(bool use_red, int n_tcp, double bottleneck_bps,
-                         std::uint64_t seed, SimTime horizon) {
+                         std::uint64_t seed, SimTime horizon,
+                         const TfmccConfig& cfg) {
   Simulator sim{seed};
   Topology topo{sim};
   LinkConfig bn;
@@ -30,7 +31,7 @@ double fairness_distance(bool use_red, int n_tcp, double bottleneck_bps,
   acc.rate_bps = 1e9;
   acc.delay = 2_ms;
   const Dumbbell d = make_dumbbell(topo, 1 + n_tcp, 1 + n_tcp, bn, acc);
-  TfmccFlow flow{sim, topo, d.left_hosts[0]};
+  TfmccFlow flow{sim, topo, d.left_hosts[0], cfg};
   flow.add_joined_receiver(d.right_hosts[0]);
   std::vector<std::unique_ptr<TcpFlow>> tcp;
   for (int i = 0; i < n_tcp; ++i) {
@@ -54,21 +55,26 @@ TFMCC_SCENARIO(ablation_red_queue,
                "Ablation: drop-tail vs RED at the bottleneck",
                tfmcc::param("n_tcp", 4, "competing TCP flows", 1),
                tfmcc::param("bottleneck_bps", 5e6, "shared bottleneck rate",
-                            1e3)) {
+                            1e3),
+               tfmcc::bench::equation_backend_param()) {
   using tfmcc::bench::check;
   using tfmcc::bench::figure_header;
   using tfmcc::bench::note;
 
   figure_header(opts.out(), "Ablation", "Drop-tail vs RED at the bottleneck");
 
+  const tfmcc::EquationBackend* eq = tfmcc::bench::selected_equation_backend(opts);
+  if (eq == nullptr) return 2;
+  tfmcc::TfmccConfig cfg;
+  cfg.equation = eq;
   const tfmcc::SimTime horizon = opts.duration_or(180_sec);
   const std::uint64_t seed = opts.seed_or(321);
   const int n_tcp = opts.param_or("n_tcp", 4);
   const double bottleneck_bps = opts.param_or("bottleneck_bps", 5e6);
   const double droptail =
-      fairness_distance(false, n_tcp, bottleneck_bps, seed, horizon);
+      fairness_distance(false, n_tcp, bottleneck_bps, seed, horizon, cfg);
   const double red =
-      fairness_distance(true, n_tcp, bottleneck_bps, seed, horizon);
+      fairness_distance(true, n_tcp, bottleneck_bps, seed, horizon, cfg);
 
   tfmcc::CsvWriter csv(opts.out(), {"queue", "abs_log_fairness_ratio"});
   csv.row("droptail", droptail);

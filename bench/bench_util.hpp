@@ -16,8 +16,33 @@
 #include <string>
 
 #include "sim/scenario.hpp"
+#include "tfrc/equation_backend.hpp"
 
 namespace tfmcc::bench {
+
+/// The shared `equation_backend` knob: every TFMCC scenario declares it so
+/// any figure can be re-run (or swept) on the scaled-integer engine with
+/// `--set equation_backend=fixed`.  The float default keeps all golden
+/// outputs byte-identical.
+inline ParamSpec equation_backend_param() {
+  return param("equation_backend", "float",
+               "control-equation backend: float (double Padhye) or fixed "
+               "(table-driven scaled-integer)");
+}
+
+/// Resolves the declared `equation_backend` override; on an unknown name,
+/// diagnoses on the scenario sink and returns nullptr (the scenario should
+/// fail its run).
+inline const EquationBackend* selected_equation_backend(
+    const ScenarioOptions& opts) {
+  const std::string name = opts.param_or("equation_backend", "float");
+  const EquationBackend* backend = find_equation_backend(name);
+  if (backend == nullptr) {
+    opts.out() << "error: unknown equation_backend '" << name
+               << "' (expected float or fixed)\n";
+  }
+  return backend;
+}
 
 // All three emitters take the scenario's output sink explicitly
 // (opts.out() at the call sites) so concurrently running sweep points

@@ -23,7 +23,7 @@ struct Run {
 };
 
 Run run_tfmcc(int n_receivers, double bottleneck_bps, std::uint64_t seed,
-              SimTime horizon) {
+              SimTime horizon, const TfmccConfig& cfg) {
   Simulator sim{seed};
   Topology topo{sim};
   LinkConfig bn;
@@ -35,7 +35,7 @@ Run run_tfmcc(int n_receivers, double bottleneck_bps, std::uint64_t seed,
   acc.rate_bps = 1e9;
   acc.delay = 2_ms;
   const Dumbbell d = make_dumbbell(topo, 1, n_receivers, bn, acc);
-  TfmccFlow flow{sim, topo, d.left_hosts[0]};
+  TfmccFlow flow{sim, topo, d.left_hosts[0], cfg};
   for (int i = 0; i < n_receivers; ++i) flow.add_joined_receiver(d.right_hosts[static_cast<size_t>(i)]);
   flow.sender().start(SimTime::zero());
   sim.run_until(horizon);
@@ -81,18 +81,24 @@ Run run_pgmcc(int n_receivers, double bottleneck_bps, std::uint64_t seed,
 TFMCC_SCENARIO(comparison_pgmcc,
                "Section 5 comparison: TFMCC vs PGMCC on one bottleneck",
                tfmcc::param("n_receivers", 4, "receiver count per protocol", 1),
-               tfmcc::param("bottleneck_bps", 2e6, "bottleneck rate", 1e3)) {
+               tfmcc::param("bottleneck_bps", 2e6, "bottleneck rate", 1e3),
+               tfmcc::bench::equation_backend_param()) {
   using tfmcc::bench::check;
   using tfmcc::bench::figure_header;
   using tfmcc::bench::note;
 
   figure_header(opts.out(), "Comparison (§5)", "TFMCC vs PGMCC on a 2 Mbit/s bottleneck");
 
+  const tfmcc::EquationBackend* eq = tfmcc::bench::selected_equation_backend(opts);
+  if (eq == nullptr) return 2;
+  tfmcc::TfmccConfig cfg;
+  cfg.equation = eq;
   const tfmcc::SimTime horizon = opts.duration_or(300_sec);
   const std::uint64_t seed = opts.seed_or(501);
   const int n_receivers = opts.param_or("n_receivers", 4);
   const double bottleneck_bps = opts.param_or("bottleneck_bps", 2e6);
-  const Run tfmcc_run = run_tfmcc(n_receivers, bottleneck_bps, seed, horizon);
+  const Run tfmcc_run =
+      run_tfmcc(n_receivers, bottleneck_bps, seed, horizon, cfg);
   const Run pgmcc_run = run_pgmcc(n_receivers, bottleneck_bps, seed, horizon);
 
   tfmcc::CsvWriter csv(opts.out(), {"protocol", "mean_kbps", "cov"});

@@ -16,12 +16,17 @@ TFMCC_SCENARIO(fig12_rtt_acquisition,
                "Figure 12: rate of initial RTT measurements, 1000 receivers",
                tfmcc::param("n_receivers", 1000, "receiver-set size", 1),
                tfmcc::param("bottleneck_bps", 500e3, "bottleneck rate", 1e3),
-               tfmcc::param("sample_period_s", 5, "sampling interval", 1)) {
+               tfmcc::param("sample_period_s", 5, "sampling interval", 1),
+               tfmcc::bench::equation_backend_param()) {
   using namespace tfmcc;
   using namespace tfmcc::time_literals;
 
   bench::figure_header(opts.out(), "Figure 12", "Rate of initial RTT measurements");
 
+  const EquationBackend* eq = bench::selected_equation_backend(opts);
+  if (eq == nullptr) return 2;
+  TfmccConfig cfg;
+  cfg.equation = eq;
   const int horizon_s =
       static_cast<int>(opts.duration_or(200_sec).to_seconds());
   const int kReceivers = opts.param_or("n_receivers", 1000);
@@ -54,7 +59,7 @@ TFMCC_SCENARIO(fig12_rtt_acquisition,
   }
   topo.compute_routes();
 
-  TfmccFlow flow{sim, topo, src};
+  TfmccFlow flow{sim, topo, src, cfg};
   for (int i = 0; i < kReceivers; ++i) flow.add_joined_receiver(hosts[static_cast<size_t>(i)]);
   flow.sender().start(SimTime::zero());
 

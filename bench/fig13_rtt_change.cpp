@@ -20,7 +20,8 @@ using namespace tfmcc;
 using namespace tfmcc::time_literals;
 
 double measure_reaction(int n_receivers, SimTime change_at, SimTime deadline_w,
-                        double loss_rate, std::uint64_t seed) {
+                        double loss_rate, std::uint64_t seed,
+                        const TfmccConfig& cfg) {
   Simulator sim{seed};
   Topology topo{sim};
   LinkConfig trunk;
@@ -34,7 +35,7 @@ double measure_reaction(int n_receivers, SimTime change_at, SimTime deadline_w,
     l.loss_rate = loss_rate;  // independent loss, same probability everywhere
   }
   Star star = make_star(topo, trunk, leaves);
-  TfmccFlow flow{sim, topo, star.sender};
+  TfmccFlow flow{sim, topo, star.sender, cfg};
   for (int i = 0; i < n_receivers; ++i) {
     flow.add_joined_receiver(star.leaves[static_cast<size_t>(i)]);
   }
@@ -62,13 +63,18 @@ TFMCC_SCENARIO(fig13_rtt_change,
                "Figure 13: responsiveness to changes in the RTT",
                tfmcc::param("loss_rate", 0.02, "independent leaf loss rate", 0.0),
                tfmcc::param("n_max", 1000,
-                            "skip receiver-set sizes above this", 1)) {
+                            "skip receiver-set sizes above this", 1),
+               tfmcc::bench::equation_backend_param()) {
   using tfmcc::bench::check;
   using tfmcc::bench::figure_header;
   using tfmcc::bench::note;
 
   figure_header(opts.out(), "Figure 13", "Responsiveness to changes in the RTT");
 
+  const tfmcc::EquationBackend* eq = tfmcc::bench::selected_equation_backend(opts);
+  if (eq == nullptr) return 2;
+  tfmcc::TfmccConfig cfg;
+  cfg.equation = eq;
   const std::uint64_t seed = opts.seed_or(131);
   const double loss_rate = opts.param_or("loss_rate", 0.02);
   const int n_max = opts.param_or("n_max", 1000);
@@ -79,21 +85,22 @@ TFMCC_SCENARIO(fig13_rtt_change,
   for (const double t : {0.0, 10.0, 20.0, 40.0, 80.0}) {
     const tfmcc::SimTime at = warp(tfmcc::SimTime::seconds(t));
     if (n_max >= 40) {
-      const double d40 = measure_reaction(40, at, deadline_w, loss_rate, seed);
+      const double d40 =
+          measure_reaction(40, at, deadline_w, loss_rate, seed, cfg);
       csv.row(40, at.to_seconds(), d40);
       if (t == 0.0) d40_early = d40;
       if (t == 80.0) d40_late = d40;
     }
     if (n_max >= 200) {
       const double d200 =
-          measure_reaction(200, at, deadline_w, loss_rate, seed + 1);
+          measure_reaction(200, at, deadline_w, loss_rate, seed + 1, cfg);
       csv.row(200, at.to_seconds(), d200);
       if (t == 0.0) d200_early = d200;
     }
   }
   if (n_max >= 1000) {
     d1000 = measure_reaction(1000, warp(40_sec), deadline_w, loss_rate,
-                             seed + 2);
+                             seed + 2, cfg);
     csv.row(1000, warp(40_sec).to_seconds(), d1000);
   }
 

@@ -18,8 +18,10 @@ using namespace tfmcc;
 using namespace tfmcc::time_literals;
 
 double peak_slowstart_kbps(double bottleneck_bps, int n_receivers, int n_tcp,
-                           std::uint64_t seed, SimTime horizon) {
-  bench::SharedBottleneck s{bottleneck_bps, 18_ms, n_receivers, n_tcp, seed};
+                           std::uint64_t seed, SimTime horizon,
+                           const TfmccConfig& cfg) {
+  bench::SharedBottleneck s{bottleneck_bps, 18_ms, n_receivers, n_tcp, seed,
+                            50, cfg};
   // TCP flows first so the link is in steady state when TFMCC probes.
   for (std::size_t i = 0; i < s.tcp.size(); ++i) {
     s.tcp[i]->start(SimTime::millis(41 * static_cast<std::int64_t>(i)));
@@ -35,13 +37,18 @@ TFMCC_SCENARIO(fig14_slowstart,
                "Figure 14: maximum slowstart rate vs receiver-set size",
                tfmcc::param("base_bps", 1e6, "fair rate in every variant", 1e3),
                tfmcc::param("n_max", 512,
-                            "skip receiver-set sizes above this", 1)) {
+                            "skip receiver-set sizes above this", 1),
+               tfmcc::bench::equation_backend_param()) {
   using tfmcc::bench::check;
   using tfmcc::bench::figure_header;
   using tfmcc::bench::note;
 
   figure_header(opts.out(), "Figure 14", "Maximum slowstart rate");
 
+  const tfmcc::EquationBackend* eq = tfmcc::bench::selected_equation_backend(opts);
+  if (eq == nullptr) return 2;
+  tfmcc::TfmccConfig cfg;
+  cfg.equation = eq;
   const tfmcc::SimTime horizon = opts.duration_or(60_sec);
   const std::uint64_t seed = opts.seed_or(141);
   const double base_bps = opts.param_or("base_bps", 1e6);
@@ -55,9 +62,12 @@ TFMCC_SCENARIO(fig14_slowstart,
     if (n > n_max) continue;
     // (a) alone on a 1 Mbit/s link; (b) with 1 TCP on 2 Mbit/s;
     // (c) with 8 TCPs on 9 Mbit/s — fair share 1 Mbit/s in each.
-    const double alone = peak_slowstart_kbps(base_bps, n, 0, seed, horizon);
-    const double one = peak_slowstart_kbps(2 * base_bps, n, 1, seed + 1, horizon);
-    const double mux = peak_slowstart_kbps(9 * base_bps, n, 8, seed + 2, horizon);
+    const double alone =
+        peak_slowstart_kbps(base_bps, n, 0, seed, horizon, cfg);
+    const double one =
+        peak_slowstart_kbps(2 * base_bps, n, 1, seed + 1, horizon, cfg);
+    const double mux =
+        peak_slowstart_kbps(9 * base_bps, n, 8, seed + 2, horizon, cfg);
     csv.row(n, alone, one, mux, base_bps / 1000.0);  // link bps -> kbit/s
     if (n == 2) {
       alone_2 = alone;

@@ -22,9 +22,9 @@ struct Result {
 };
 
 Result run(bool with_return_traffic, double bottleneck_bps, std::uint64_t seed,
-           SimTime horizon) {
+           SimTime horizon, const TfmccConfig& cfg) {
   bench::SharedBottleneck s{bottleneck_bps, 18_ms, /*n_receivers=*/4,
-                            /*n_tcp=*/4, seed};
+                            /*n_tcp=*/4, seed, 50, cfg};
   // Return flows: right-to-left bulk TCP sharing the reverse bottleneck
   // with the ACK/feedback streams; 0/1/2/4 flows rooted at the four
   // receivers' hosts.
@@ -56,17 +56,22 @@ Result run(bool with_return_traffic, double bottleneck_bps, std::uint64_t seed,
 
 TFMCC_SCENARIO(fig18_return_traffic,
                "Figure 18: competing bulk TCP on the feedback return paths",
-               tfmcc::param("bottleneck_bps", 5e6, "forward bottleneck rate", 1e3)) {
+               tfmcc::param("bottleneck_bps", 5e6, "forward bottleneck rate", 1e3),
+               tfmcc::bench::equation_backend_param()) {
   using namespace tfmcc;
   using namespace tfmcc::time_literals;
 
   bench::figure_header(opts.out(), "Figure 18", "Competing traffic on return paths");
 
+  const EquationBackend* eq = bench::selected_equation_backend(opts);
+  if (eq == nullptr) return 2;
+  TfmccConfig cfg;
+  cfg.equation = eq;
   const SimTime horizon = opts.duration_or(120_sec);
   const std::uint64_t seed = opts.seed_or(181);
   const double bottleneck_bps = opts.param_or("bottleneck_bps", 5e6);
-  const Result base = run(false, bottleneck_bps, seed, horizon);
-  const Result loaded = run(true, bottleneck_bps, seed, horizon);
+  const Result base = run(false, bottleneck_bps, seed, horizon, cfg);
+  const Result loaded = run(true, bottleneck_bps, seed, horizon, cfg);
 
   CsvWriter csv(opts.out(), {"flow", "no_return_kbps", "with_return_kbps"});
   csv.row("TFMCC", base.tfmcc_kbps, loaded.tfmcc_kbps);

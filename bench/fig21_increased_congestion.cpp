@@ -16,12 +16,17 @@ TFMCC_SCENARIO(fig21_increased_congestion,
                tfmcc::param("n_receivers", 2, "TFMCC receiver count", 1),
                tfmcc::param("bottleneck_bps", 16e6, "shared bottleneck rate",
                             1e3),
-               tfmcc::param("queue_pkts", 80, "bottleneck queue limit", 1)) {
+               tfmcc::param("queue_pkts", 80, "bottleneck queue limit", 1),
+               tfmcc::bench::equation_backend_param()) {
   using namespace tfmcc;
   using namespace tfmcc::time_literals;
 
   bench::figure_header(opts.out(), "Figure 21", "Responsiveness to increased congestion");
 
+  const EquationBackend* eq = bench::selected_equation_backend(opts);
+  if (eq == nullptr) return 2;
+  TfmccConfig cfg;
+  cfg.equation = eq;
   // The flow-count doublings are scripted at 50 s epochs on the paper's
   // 250 s timeline and warp proportionally with --duration.
   const SimTime kRefT = 250_sec;
@@ -31,7 +36,8 @@ TFMCC_SCENARIO(fig21_increased_congestion,
                             opts.param_or("n_receivers", 2), /*n_tcp=*/15,
                             opts.seed_or(211),
                             static_cast<std::size_t>(
-                                opts.param_or("queue_pkts", 80))};
+                                opts.param_or("queue_pkts", 80)),
+                            cfg};
   s.tfmcc->sender().start(SimTime::zero());
   // Start groups of 1, 2, 4 and 8 TCP flows at 50, 100, 150 and 200 s; the
   // millisecond stagger within a group is deliberate jitter, not script

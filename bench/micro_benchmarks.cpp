@@ -11,6 +11,7 @@
 #include "sim/simulator.hpp"
 #include "tfmcc/feedback_timer.hpp"
 #include "tfrc/equation.hpp"
+#include "tfrc/equation_backend.hpp"
 #include "tfrc/loss_history.hpp"
 #include "util/rng.hpp"
 
@@ -37,6 +38,37 @@ void BM_EquationInverse(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EquationInverse);
+
+void BM_EquationBatch(benchmark::State& state,
+                      const EquationBackend& backend) {
+  // The sender-side per-round pattern: one equation evaluation per receiver
+  // report, over a receiver set with spread RTTs and loss rates.  Exercises
+  // EquationBackend::throughput_batch — the float backend's scalar loop vs
+  // the fixed backend's table lookups with a hoisted numerator.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng{7};
+  std::vector<SimTime> rtts(n);
+  std::vector<double> losses(n);
+  std::vector<double> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    rtts[i] = SimTime::millis(rng.uniform_int(20, 400));
+    losses[i] = rng.uniform(1e-4, 0.3);
+  }
+  for (auto _ : state) {
+    backend.throughput_batch(1000.0, rtts.data(), losses.data(), out.data(),
+                             n);
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK_CAPTURE(BM_EquationBatch, float, tfmcc::float_equation_backend())
+    ->Arg(64)
+    ->Arg(1024);
+BENCHMARK_CAPTURE(BM_EquationBatch, fixed, tfmcc::fixed_equation_backend())
+    ->Arg(64)
+    ->Arg(1024);
 
 void BM_LossHistoryReceive(benchmark::State& state) {
   LossHistory h{static_cast<int>(state.range(0))};

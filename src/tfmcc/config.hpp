@@ -3,6 +3,7 @@
 #include <cstdint>
 
 #include "net/packet.hpp"
+#include "tfrc/equation_backend.hpp"
 #include "util/sim_time.hpp"
 
 namespace tfmcc {
@@ -44,6 +45,11 @@ struct TfmccConfig {
   double delta{0.1};           // δ: cancellation threshold (§2.5.2)
   double t_mult{4.0};          // T = t_mult * R_max
   int low_rate_guard{3};       // c: T >= (c+1)*s/rate at low rates (§2.5.3)
+
+  // Control-equation backend (receivers' calc rate, Appendix B inversion,
+  // the sender's initial-RTT recomputation).  The float backend is the
+  // paper-faithful default; "fixed" swaps in the scaled-integer table engine.
+  const EquationBackend* equation{&float_equation_backend()};
 
   // Rate control (§2.2, §2.6).
   double slowstart_mult{2.0};       // d: slowstart target = d * min recv rate

@@ -66,7 +66,7 @@ void TfmccReceiver::leave() {
 double TfmccReceiver::calc_rate_Bps() const {
   const double p = loss_.loss_event_rate();
   if (p <= 0.0) return std::numeric_limits<double>::infinity();
-  return tcp_model::throughput_Bps(cfg_.packet_bytes, rtt_, p);
+  return cfg_.equation->throughput_Bps(cfg_.packet_bytes, rtt_, p);
 }
 
 void TfmccReceiver::handle_packet(const Packet& p) {
@@ -126,8 +126,8 @@ void TfmccReceiver::process_losses(const Packet& p, const TfmccDataHeader& h,
     double rate_at_loss = recv_rate_.rate_Bps(now);
     if (rate_at_loss <= 0.0) rate_at_loss = h.send_rate_Bps * 0.5;
     if (rate_at_loss > 0.0) {
-      const double p_init =
-          tcp_model::loss_for_throughput(cfg_.packet_bytes, rtt_, rate_at_loss);
+      const double p_init = cfg_.equation->loss_for_throughput(
+          cfg_.packet_bytes, rtt_, rate_at_loss);
       loss_.init_first_interval(1.0 / p_init);
     }
   }

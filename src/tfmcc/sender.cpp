@@ -311,8 +311,8 @@ void TfmccSender::on_feedback(const TfmccFeedbackHeader& f) {
   // recomputed with the sender-side measurement before being acted upon.
   double eff = f.calc_rate_Bps;
   if (!f.has_rtt && f.loss_event_rate > 0.0 && sender_rtt > SimTime::zero()) {
-    eff = tcp_model::throughput_Bps(cfg_.packet_bytes, sender_rtt,
-                                    f.loss_event_rate);
+    eff = cfg_.equation->throughput_Bps(cfg_.packet_bytes, sender_rtt,
+                                        f.loss_event_rate);
   }
 
   auto& info = receivers_[f.receiver];

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace tfmcc {
+
+/// Scaled-integer, table-driven evaluation of the TCP throughput equation —
+/// the Linux DCCP/TFRC idiom (tfrc_calc_x / tfrc_calc_x_reverse_lookup):
+/// branchless in the common case, one 64-bit division per evaluation, no
+/// floating point anywhere on the runtime path.
+///
+/// The control equation X = s / (R * f(p)) factors all p-dependence into
+///   f(p) = sqrt(2bp/3) + t_RTO/R * min(1, 3*sqrt(3bp/8)) * p * (1 + 32p^2)
+/// with b = 1 and t_RTO = 4R — exactly the denominator of
+/// tcp_model::throughput_Bps, so the two backends agree up to table
+/// quantisation.  f is precomputed into two lookup segments (a fine one for
+/// p <= 0.05, where the curve is steep, and a coarse one for 0.05 < p <= 1)
+/// and linearly interpolated; the rate->loss direction binary-searches the
+/// same table (reverse lookup).
+///
+/// Units: packet size in bytes, RTT in microseconds, rates in bytes/second,
+/// loss event rate scaled by kPScale (p = 1.0 <-> 1'000'000).
+namespace fixedpoint {
+
+/// Loss event rate scale: p_scaled = p * kPScale.
+inline constexpr std::uint32_t kPScale = 1'000'000;
+/// Scale of stored f(p) values: f_scaled = f * kFScale.
+inline constexpr std::uint32_t kFScale = 1'000'000;
+/// Smallest representable loss event rate (1e-4); smaller inputs saturate
+/// here, mirroring the kernel's TFRC_SMALLEST_P contract.  Below this the
+/// equation is so flat that a table would need to grow 100x for little
+/// control benefit.
+inline constexpr std::uint32_t kSmallestP = 100;
+/// Boundary between the fine and coarse table segments (p = 0.05).
+inline constexpr std::uint32_t kSplitP = 50'000;
+/// Entries per segment; fine step = 100 (1e-4 in p), coarse step = 1900.
+inline constexpr std::size_t kTableSize = 500;
+inline constexpr std::uint32_t kSmallStep = kSplitP / kTableSize;
+inline constexpr std::uint32_t kLargeStep = (kPScale - kSplitP) / kTableSize;
+
+/// Floor of sqrt(x) for the full 64-bit range (bitwise digit-by-digit; no
+/// floating point, so results are identical on every platform).
+std::uint32_t isqrt64(std::uint64_t x);
+
+/// sqrt scaled by 2^5: isqrt(sample << 10), never zero (a zero sample is
+/// treated as 1 so sqrt(x)/sqrt(y) expressions cannot divide by zero).
+/// Intended for ratios, where the scale factor cancels.
+std::uint32_t scaled_sqrt(std::uint32_t sample);
+
+/// Integer exponentially weighted moving average with `weight` tenths of
+/// history retention (weight 9 == keep 90% of the average per sample).  An
+/// average of 0 means "no estimate yet" and bootstraps to the sample.
+std::uint32_t ewma(std::uint32_t avg, std::uint32_t newval,
+                   std::uint32_t weight);
+
+/// f(p) scaled by kFScale, linearly interpolated from the lookup table.
+/// `p_scaled` is clamped to [kSmallestP, kPScale].
+std::uint32_t lookup_f(std::uint32_t p_scaled);
+
+/// Throughput equation: X in bytes/second for packet size `s` bytes, RTT
+/// `rtt_us` microseconds (0 is treated as 1) and loss event rate
+/// `p_scaled` (clamped to [kSmallestP, kPScale]).
+std::uint64_t calc_x(std::uint32_t s, std::uint32_t rtt_us,
+                     std::uint32_t p_scaled);
+
+/// Inverse direction of the table: the p_scaled whose f(p) equals `fvalue`
+/// (f scaled by kFScale), by binary search + interpolation.  Saturates to
+/// kSmallestP below the table floor and kPScale above its ceiling.
+std::uint32_t calc_x_reverse_lookup(std::uint64_t fvalue);
+
+/// Loss event rate (scaled) that yields `rate_Bps` — the integer analogue
+/// of tcp_model::loss_for_throughput, via reverse lookup instead of
+/// bisecting the equation.
+std::uint32_t loss_for_rate(std::uint32_t s, std::uint32_t rtt_us,
+                            std::uint64_t rate_Bps);
+
+/// Batched SoA evaluation: out[i] = calc_x(s, rtt_us[i], p_scaled[i]).
+/// This is the kernel the batched-receiver scaling work feeds: one shared
+/// numerator, contiguous integer loads, no per-element branching beyond the
+/// clamp.
+void calc_x_batch(std::uint32_t s, const std::uint32_t* rtt_us,
+                  const std::uint32_t* p_scaled, std::uint64_t* out_Bps,
+                  std::size_t n);
+
+}  // namespace fixedpoint
+
+}  // namespace tfmcc

@@ -29,7 +29,8 @@ namespace {
 /// scenarios without the key keep their (already reduced-duration) shape.
 constexpr std::pair<const char*, const char*> kSmokeOverrides[] = {
     {"n_receivers", "8"}, {"n_tcp", "2"},  {"n_tails", "4"},
-    {"trials", "2"},      {"n_max", "64"},
+    {"trials", "2"},      {"n_max", "64"}, {"p_points", "8"},
+    {"ewma_steps", "10"},
 };
 
 ScenarioOptions smoke_options(const Scenario& s) {

@@ -1,0 +1,160 @@
+// Property tests for the fixed-point equation primitives: floor-sqrt
+// bounds and monotonicity of isqrt64/scaled_sqrt across randomised 64-bit
+// inputs, monotonicity of the f(p) table and of calc_x in each argument,
+// reverse-lookup monotonicity, and the EWMA's bounds and fixed points.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "tfrc/equation_fixed.hpp"
+
+namespace tfmcc {
+namespace {
+
+namespace fp = fixedpoint;
+
+/// Deterministic 64-bit stream (splitmix64) so failures reproduce exactly.
+struct Splitmix {
+  std::uint64_t state;
+  std::uint64_t next() {
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+};
+
+TEST(FixedpointSqrt, IsqrtIsTheFloorSquareRoot) {
+  // r = isqrt64(x) must satisfy r^2 <= x < (r+1)^2 over the whole range,
+  // including the u32 boundary and the top of the u64 range.
+  std::vector<std::uint64_t> xs{0,
+                                1,
+                                2,
+                                3,
+                                4,
+                                15,
+                                16,
+                                (1ULL << 32) - 1,
+                                1ULL << 32,
+                                (1ULL << 32) + 1,
+                                std::numeric_limits<std::uint64_t>::max()};
+  Splitmix rng{0xfeedULL};
+  for (int i = 0; i < 20'000; ++i) xs.push_back(rng.next());
+  // Exact squares and their neighbours are the boundary cases.
+  for (int i = 0; i < 2'000; ++i) {
+    const std::uint64_t r = rng.next() >> 32;
+    xs.push_back(r * r);
+    if (r > 0) xs.push_back(r * r - 1);
+    xs.push_back(r * r + 1);
+  }
+  for (const std::uint64_t x : xs) {
+    const std::uint64_t r = fp::isqrt64(x);
+    EXPECT_LE(r * r, x) << "x=" << x << " r=" << r;
+    // (r+1)^2 overflows only when r == 2^32 - 1, where x has no larger
+    // representable square to compare against.
+    if (r < 0xffffffffULL) {
+      EXPECT_GT((r + 1) * (r + 1), x) << "x=" << x << " r=" << r;
+    }
+  }
+}
+
+TEST(FixedpointSqrt, ScaledSqrtIsMonotoneAndNeverZero) {
+  Splitmix rng{0xabcULL};
+  std::vector<std::uint32_t> xs{0, 1, 2, 3, 1023, 1024, 1025,
+                                std::numeric_limits<std::uint32_t>::max()};
+  for (int i = 0; i < 20'000; ++i) {
+    xs.push_back(static_cast<std::uint32_t>(rng.next()));
+  }
+  std::sort(xs.begin(), xs.end());
+  std::uint32_t prev = 0;
+  for (const std::uint32_t x : xs) {
+    const std::uint32_t r = fp::scaled_sqrt(x);
+    EXPECT_GT(r, 0u) << "x=" << x;  // never zero: safe as a divisor
+    EXPECT_GE(r, prev) << "x=" << x;
+    prev = r;
+  }
+  // Rounding contract: scaled_sqrt is the floor sqrt of x << 10 (with the
+  // zero sample clamped to 1), so the scale factor cancels in ratios.
+  EXPECT_EQ(fp::scaled_sqrt(1), fp::isqrt64(1ULL << 10));
+  EXPECT_EQ(fp::scaled_sqrt(0), fp::isqrt64(1ULL << 10));
+  EXPECT_EQ(fp::scaled_sqrt(100), fp::isqrt64(100ULL << 10));
+}
+
+TEST(FixedpointTable, LookupFIsStrictlyIncreasingAcrossBothSegments) {
+  // f(p) is strictly increasing; the table plus interpolation must keep
+  // that, in particular across the fine/coarse segment boundary.
+  std::uint32_t prev = 0;
+  for (std::uint32_t p = fp::kSmallestP; p <= fp::kPScale; p += 50) {
+    const std::uint32_t f = fp::lookup_f(p);
+    EXPECT_GT(f, 0u) << "p_scaled=" << p;
+    EXPECT_GE(f, prev) << "p_scaled=" << p;
+    prev = f;
+  }
+  // Coarser strides must be strictly increasing (equal neighbours can
+  // only come from quantisation at the finest stride).
+  EXPECT_LT(fp::lookup_f(1'000), fp::lookup_f(2'000));
+  EXPECT_LT(fp::lookup_f(fp::kSplitP - fp::kSmallStep),
+            fp::lookup_f(fp::kSplitP + fp::kLargeStep));
+  EXPECT_LT(fp::lookup_f(900'000), fp::lookup_f(fp::kPScale));
+}
+
+TEST(FixedpointCalcX, MonotoneInEachArgument) {
+  // Throughput falls with loss and RTT, grows with packet size.
+  std::uint64_t prev = std::numeric_limits<std::uint64_t>::max();
+  for (std::uint32_t p = fp::kSmallestP; p <= fp::kPScale; p += 997) {
+    const std::uint64_t x = fp::calc_x(1000, 80'000, p);
+    EXPECT_LE(x, prev) << "p_scaled=" << p;
+    prev = x;
+  }
+  prev = std::numeric_limits<std::uint64_t>::max();
+  for (std::uint32_t rtt_us = 1'000; rtt_us <= 4'000'000; rtt_us *= 2) {
+    const std::uint64_t x = fp::calc_x(1000, rtt_us, 10'000);
+    EXPECT_LT(x, prev) << "rtt_us=" << rtt_us;
+    prev = x;
+  }
+  prev = 0;
+  for (std::uint32_t s = 64; s <= 65'536; s *= 2) {
+    const std::uint64_t x = fp::calc_x(s, 80'000, 10'000);
+    EXPECT_GT(x, prev) << "s=" << s;
+    prev = x;
+  }
+}
+
+TEST(FixedpointReverseLookup, MonotoneNonDecreasingInF) {
+  const std::uint64_t f_max = fp::lookup_f(fp::kPScale);
+  std::uint32_t prev = 0;
+  for (std::uint64_t f = 0; f <= f_max + f_max / 4; f += f_max / 4096 + 1) {
+    const std::uint32_t p = fp::calc_x_reverse_lookup(f);
+    EXPECT_GE(p, fp::kSmallestP) << "f=" << f;
+    EXPECT_LE(p, fp::kPScale) << "f=" << f;
+    EXPECT_GE(p, prev) << "f=" << f;
+    prev = p;
+  }
+}
+
+TEST(FixedpointEwma, BoundedByItsInputsAndHasFixedPoints) {
+  Splitmix stream{0x5eedULL};
+  for (int i = 0; i < 20'000; ++i) {
+    const auto avg = static_cast<std::uint32_t>(stream.next() % fp::kPScale);
+    const auto nv = static_cast<std::uint32_t>(stream.next() % fp::kPScale);
+    const auto w = static_cast<std::uint32_t>(stream.next() % 11);  // 0..10
+    const std::uint32_t r = fp::ewma(avg, nv, w);
+    if (avg == 0) {
+      EXPECT_EQ(r, nv);  // bootstrap
+      continue;
+    }
+    EXPECT_GE(r, std::min(avg, nv)) << "avg=" << avg << " nv=" << nv
+                                    << " w=" << w;
+    EXPECT_LE(r, std::max(avg, nv)) << "avg=" << avg << " nv=" << nv
+                                    << " w=" << w;
+    // A constant stream is a fixed point at any weight.
+    EXPECT_EQ(fp::ewma(nv, nv, w), nv);
+  }
+}
+
+}  // namespace
+}  // namespace tfmcc

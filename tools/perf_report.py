@@ -22,7 +22,9 @@ reference, captured once per perf PR from the pre-PR tree) and
 ``current`` (the tree as committed).  Perf PRs must refresh both — see
 README "Performance".  ``--check`` re-measures the working tree and fails
 when any scenario wall-clock is more than ``--tolerance`` (default 25%)
-slower than the committed ``current`` entry.
+slower than the committed ``current`` entry, or any micro benchmark is
+more than ``--micro-tolerance`` (default 60%) slower ns/op — both after
+machine-speed normalisation.
 """
 
 import argparse
@@ -41,7 +43,8 @@ SCENARIOS = [
     ("fig13_rtt_change_1000rx", "fig13_rtt_change", []),
 ]
 
-MICRO_FILTER = "BM_SchedulerChurn|BM_EquationFull|BM_LossHistoryReceive"
+MICRO_FILTER = ("BM_SchedulerChurn|BM_EquationFull|BM_EquationBatch|"
+                "BM_LossHistoryReceive")
 
 
 def run_micro(build_dir, min_time):
@@ -152,6 +155,58 @@ def check(report, fresh_scenarios, tolerance):
           "of the committed baseline (machine-normalised)")
 
 
+def check_micro(report, fresh_micro, tolerance):
+    """Gates micro-benchmark ns/op against the committed 'current' set.
+
+    Same machine-normalisation idea as the scenario gate: the
+    least-regressed benchmark is taken as the machine-speed proxy, so a
+    uniformly slower runner passes while one benchmark regressing relative
+    to its peers fails.  Micro benchmarks are noisier than wall-clocks
+    (frequency scaling, cache state), so callers pass a looser tolerance.
+    Benchmarks missing from the committed set are reported but don't fail
+    the gate — a freshly added bench only gates once it has been committed
+    via a perf_report refresh.
+    """
+    committed = report.get("current", {}).get("micro", {})
+    if not fresh_micro:
+        print("perf_report: no micro benchmarks measured; skipping micro gate")
+        return
+    if not committed:
+        print("perf_report: committed report has no micro set; "
+              "skipping micro gate")
+        return
+    common = sorted(set(fresh_micro) & set(committed))
+    for name in sorted(set(fresh_micro) - set(committed)):
+        print(f"perf_report: {name}: not in committed report (new bench, "
+              "not gated)")
+    if not common:
+        print("perf_report: no overlapping micro benchmarks; "
+              "skipping micro gate")
+        return
+    ratios = {}
+    for name in common:
+        old = committed[name]["ns_per_op"]
+        ratios[name] = (fresh_micro[name]["ns_per_op"] / old
+                        if old > 0 else float("inf"))
+    scale = min(ratios.values())
+    failures = []
+    for name, ratio in sorted(ratios.items()):
+        normalised = ratio / scale if scale > 0 else float("inf")
+        status = "OK" if normalised <= 1.0 + tolerance else "REGRESSION"
+        print(f"perf_report: {name}: committed "
+              f"{committed[name]['ns_per_op']:.1f} ns/op, measured "
+              f"{fresh_micro[name]['ns_per_op']:.1f} ns/op "
+              f"({ratio:.2f}x raw, {normalised:.2f}x machine-normalised) "
+              f"{status}")
+        if normalised > 1.0 + tolerance:
+            failures.append(name)
+    if failures:
+        sys.exit(f"perf_report: micro benchmark regression beyond "
+                 f"{tolerance:.0%} tolerance: {', '.join(failures)}")
+    print(f"perf_report: all micro benchmarks within {tolerance:.0%} "
+          "of the committed baseline (machine-normalised)")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--build-dir", default="build")
@@ -173,6 +228,10 @@ def main():
     ap.add_argument("--tolerance", type=float, default=0.25,
                     help="allowed fractional wall-clock slowdown for --check "
                          "(default 0.25)")
+    ap.add_argument("--micro-tolerance", type=float, default=0.60,
+                    help="allowed fractional ns/op slowdown for --check's "
+                         "micro gate; looser than the scenario gate because "
+                         "ns-scale benches are noisier (default 0.60)")
     args = ap.parse_args()
 
     scenarios = run_scenarios(args.build_dir, args.repeats)
@@ -181,6 +240,7 @@ def main():
     if args.check:
         report = load_report(args.check)
         check(report, scenarios, args.tolerance)
+        check_micro(report, micro, args.micro_tolerance)
         return
 
     report = load_report(args.output)
