@@ -17,6 +17,13 @@ TFMCC_SCENARIO(fig12_rtt_acquisition,
                tfmcc::param("n_receivers", 1000, "receiver-set size", 1),
                tfmcc::param("bottleneck_bps", 500e3, "bottleneck rate", 1e3),
                tfmcc::param("sample_period_s", 5, "sampling interval", 1),
+               tfmcc::param("full_receivers", 16,
+                            "hybrid mode: receivers simulated as full agents",
+                            1),
+               tfmcc::param("model_taps", 4,
+                            "hybrid mode: modeled-receiver blocks (tap nodes)",
+                            1),
+               tfmcc::bench::receiver_model_param(),
                tfmcc::bench::equation_backend_param()) {
   using namespace tfmcc;
   using namespace tfmcc::time_literals;
@@ -25,6 +32,8 @@ TFMCC_SCENARIO(fig12_rtt_acquisition,
 
   const EquationBackend* eq = bench::selected_equation_backend(opts);
   if (eq == nullptr) return 2;
+  const bench::ReceiverModel model = bench::selected_receiver_model(opts);
+  if (model == bench::ReceiverModel::kUnknown) return 2;
   TfmccConfig cfg;
   cfg.equation = eq;
   const int horizon_s =
@@ -49,19 +58,53 @@ TFMCC_SCENARIO(fig12_rtt_acquisition,
   topo.add_duplex_link(src, left, acc);
   topo.add_duplex_link(left, right, bn);
   Rng delay_rng{opts.seed_or(121) * 10 + 2};
-  std::vector<NodeId> hosts(static_cast<size_t>(kReceivers));
-  for (int i = 0; i < kReceivers; ++i) {
+  // Hybrid tier split: the first `full_receivers` stay full agents, the
+  // rest ride in modeled SoA blocks on `model_taps` tap nodes.  Full mode
+  // keeps every receiver a full agent (the golden default).
+  const int n_full = model == bench::ReceiverModel::kFull
+                         ? kReceivers
+                         : std::min(kReceivers,
+                                    opts.param_or("full_receivers", 16));
+  const int n_model = kReceivers - n_full;
+  std::vector<NodeId> hosts(static_cast<size_t>(n_full));
+  for (int i = 0; i < n_full; ++i) {
     hosts[static_cast<size_t>(i)] = topo.add_node();
     LinkConfig a = acc;
     // Spread one-way access delays so path RTTs cover ~60..140 ms.
     a.delay = SimTime::millis(delay_rng.uniform_int(8, 48));
     topo.add_duplex_link(right, hosts[static_cast<size_t>(i)], a);
   }
+  std::vector<NodeId> taps;
+  if (n_model > 0) {
+    const int n_taps =
+        std::clamp(opts.param_or("model_taps", 4), 1, n_model);
+    for (int t = 0; t < n_taps; ++t) {
+      LinkConfig a = acc;
+      a.delay = 8_ms;  // virtual access detours add the 0..40 ms spread
+      taps.push_back(topo.add_node());
+      topo.add_duplex_link(right, taps.back(), a);
+    }
+  }
   topo.compute_routes();
 
   TfmccFlow flow{sim, topo, src, cfg};
-  for (int i = 0; i < kReceivers; ++i) flow.add_joined_receiver(hosts[static_cast<size_t>(i)]);
+  for (int i = 0; i < n_full; ++i) flow.add_joined_receiver(hosts[static_cast<size_t>(i)]);
+  for (std::size_t t = 0; t < taps.size(); ++t) {
+    // Spread the modeled population over the taps, remainder on the first.
+    const int per = n_model / static_cast<int>(taps.size());
+    const int extra = t == 0 ? n_model % static_cast<int>(taps.size()) : 0;
+    const int b = flow.add_modeled_block(taps[t], per + extra,
+                                         SimTime::zero(), 40_ms);
+    flow.block(b).join();
+  }
   flow.sender().start(SimTime::zero());
+  if (n_model > 0) {
+    bench::note(opts.out(),
+                "hybrid tier: " + std::to_string(n_full) + " full + " +
+                    std::to_string(n_model) + " modeled receivers on " +
+                    std::to_string(taps.size()) + " taps (candidate cap " +
+                    std::to_string(flow.block(0).candidate_cap()) + ")");
+  }
 
   CsvWriter csv(opts.out(), {"time_s", "receivers_with_valid_rtt"});
   std::vector<int> samples;

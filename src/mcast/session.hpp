@@ -34,6 +34,28 @@ class MulticastSession {
   bool is_member(NodeId n) const { return topo_.is_member(group_, n); }
   int member_count() const { return topo_.member_count(group_); }
 
+  /// Modeled-receiver accounting (hybrid full/model tier): a
+  /// ModeledReceiverBlock registers how many receivers it stands in for.
+  /// member_count() counts tree members — a block's tap node is one member —
+  /// so harnesses that want the logical receiver population add
+  /// modeled_count() minus the tap nodes themselves; total_endpoint_count()
+  /// does that bookkeeping.
+  void add_modeled(int n) {
+    modeled_ += n;
+    ++modeled_taps_;
+  }
+  void remove_modeled(int n) {
+    modeled_ -= n;
+    --modeled_taps_;
+  }
+  int modeled_count() const { return modeled_; }
+  int modeled_taps() const { return modeled_taps_; }
+  /// Logical receiver endpoints in the session: full members plus modeled
+  /// receivers (each block's tap member replaced by its block population).
+  int total_endpoint_count() const {
+    return member_count() - modeled_taps_ + modeled_;
+  }
+
   /// Inject a packet at the source and replicate it down the tree.
   void send_from_source(const PacketPtr& p) { topo_.node(source_).send(p); }
 
@@ -42,6 +64,8 @@ class MulticastSession {
   NodeId source_;
   PortId data_port_;
   GroupId group_;
+  int modeled_{0};       // modeled receivers currently joined via blocks
+  int modeled_taps_{0};  // tap nodes hosting those blocks
 };
 
 }  // namespace tfmcc

@@ -66,6 +66,7 @@ void Node::deliver_local(const PacketPtr& p) {
   for (const auto& [port, agent] : agents_) {
     if (port == p->dport) {
       ++delivered_local_;
+      delivered_endpoints_ += agent->endpoint_count();
       agent->handle_packet(*p);
       return;
     }

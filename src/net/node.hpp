@@ -20,6 +20,10 @@ class Agent {
  public:
   virtual ~Agent() = default;
   virtual void handle_packet(const Packet& p) = 0;
+  /// Number of protocol endpoints this agent stands in for.  1 for ordinary
+  /// agents; a modeled-receiver block reports its receiver count so delivery
+  /// accounting can weigh one physical delivery as N logical ones.
+  virtual int endpoint_count() const { return 1; }
 };
 
 /// A network node: forwards packets according to the topology's routing
@@ -49,6 +53,10 @@ class Node {
 
   std::int64_t forwarded() const { return forwarded_; }
   std::int64_t delivered_local() const { return delivered_local_; }
+  /// Deliveries weighted by the receiving agent's endpoint_count(): the
+  /// number of *logical* endpoints reached (equals delivered_local() unless
+  /// a modeled-receiver block is attached).
+  std::int64_t delivered_endpoints() const { return delivered_endpoints_; }
 
  private:
   void deliver_local(const PacketPtr& p);
@@ -63,6 +71,7 @@ class Node {
   std::vector<Link*> routes_;  // indexed by destination NodeId
   std::int64_t forwarded_{0};
   std::int64_t delivered_local_{0};
+  std::int64_t delivered_endpoints_{0};
 };
 
 }  // namespace tfmcc

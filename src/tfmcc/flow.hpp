@@ -5,6 +5,7 @@
 
 #include "mcast/session.hpp"
 #include "tfmcc/receiver.hpp"
+#include "tfmcc/receiver_block.hpp"
 #include "tfmcc/sender.hpp"
 #include "util/stats.hpp"
 
@@ -45,6 +46,39 @@ class TfmccFlow {
     return id;
   }
 
+  /// Create a modeled-receiver block on `tap` standing in for `count`
+  /// receivers (hybrid tier; not yet joined).  Returns the block index.
+  /// Modeled receiver ids live in [kModeledIdBase, ...), disjoint from the
+  /// full tier's dense 0-based ids.
+  int add_modeled_block(NodeId tap, int count,
+                        SimTime extra_owd_min = SimTime::zero(),
+                        SimTime extra_owd_max = SimTime::zero(),
+                        int max_candidates = 64) {
+    const auto idx = static_cast<int>(blocks_.size());
+    ModeledReceiverBlock::BlockConfig bc;
+    bc.count = count;
+    bc.base_id = kModeledIdBase + next_modeled_id_;
+    bc.extra_owd_min = extra_owd_min;
+    bc.extra_owd_max = extra_owd_max;
+    bc.max_candidates = max_candidates;
+    next_modeled_id_ += count;
+    blocks_.push_back(std::make_unique<ModeledReceiverBlock>(
+        sim_, session_, tap, bc, cfg_,
+        sim_.make_rng(rng_stream_ + kModeledRngOffset + idx)));
+    return idx;
+  }
+
+  ModeledReceiverBlock& block(int idx) {
+    return *blocks_.at(static_cast<std::size_t>(idx));
+  }
+  int block_count() const { return static_cast<int>(blocks_.size()); }
+  /// Modeled receivers across all blocks (joined or not).
+  int modeled_receiver_count() const {
+    int n = 0;
+    for (const auto& b : blocks_) n += b->count();
+    return n;
+  }
+
   TfmccSender& sender() { return *sender_; }
   const TfmccSender& sender() const { return *sender_; }
   MulticastSession& session() { return session_; }
@@ -61,16 +95,24 @@ class TfmccFlow {
     for (const auto& r : receivers_) {
       if (r->has_rtt_measurement()) ++n;
     }
+    for (const auto& b : blocks_) n += b->receivers_with_rtt();
     return n;
   }
 
   std::int64_t total_feedback_sent() const {
     std::int64_t n = 0;
     for (const auto& r : receivers_) n += r->feedback_sent();
+    for (const auto& b : blocks_) n += b->feedback_sent();
     return n;
   }
 
  private:
+  /// Modeled receiver ids start here so they can never collide with the
+  /// full tier's dense 0-based ids (the sender tracks both uniformly).
+  static constexpr std::int32_t kModeledIdBase = 1'000'000;
+  /// RNG substream offset for blocks (full receivers use stream + 1 + id).
+  static constexpr std::uint64_t kModeledRngOffset = 500'000;
+
   Simulator& sim_;
   TfmccConfig cfg_;
   SimTime bin_width_;
@@ -78,7 +120,9 @@ class TfmccFlow {
   std::unique_ptr<TfmccSender> sender_;
   std::vector<std::unique_ptr<TfmccReceiver>> receivers_;
   std::vector<std::unique_ptr<ThroughputBinner>> goodput_;
+  std::vector<std::unique_ptr<ModeledReceiverBlock>> blocks_;
   std::uint64_t rng_stream_;
+  std::int32_t next_modeled_id_{0};
 };
 
 }  // namespace tfmcc

@@ -31,9 +31,33 @@ TfmccReceiver::~TfmccReceiver() {
 
 void TfmccReceiver::join() {
   if (joined_) return;
+  // A rejoin after leave() starts a fresh membership.  The previous
+  // membership's sequence space, loss history, RTT estimate and round state
+  // must not leak in: the seqno gap accumulated while absent would read as
+  // a phantom loss burst, and a stale RTT/loss estimate would skew the
+  // first reports of the new membership.  State is reset here (not in
+  // leave()) so post-leave inspection of the final membership stays valid.
+  if (ever_left_) reset_membership_state();
   session_.topology().node(self_).attach_agent(session_.data_port(), this);
   session_.join(self_);
   joined_ = true;
+}
+
+void TfmccReceiver::reset_membership_state() {
+  round_ = -1;
+  seq_ = SeqnoTracker{};
+  loss_ = LossHistory{cfg_.loss_history_depth};
+  recv_rate_.clear();
+  rtt_ = cfg_.initial_rtt;
+  has_rtt_ = false;
+  owd_rs_ = SimTime::zero();
+  has_owd_ = false;
+  is_clr_ = false;
+  last_data_send_ts_ = SimTime::zero();
+  last_data_arrival_ = SimTime::infinity();
+  last_send_rate_ = 0.0;
+  // feedback_sent_ is a lifetime counter, not membership state: harnesses
+  // sum it across the whole run, so it survives rejoins.
 }
 
 void TfmccReceiver::leave() {
@@ -58,6 +82,7 @@ void TfmccReceiver::leave() {
   session_.leave(self_);
   session_.topology().node(self_).detach_agent(session_.data_port());
   joined_ = false;
+  ever_left_ = true;
   is_clr_ = false;
   sim_.cancel(fb_timer_);
   sim_.cancel(clr_timer_);
@@ -266,9 +291,11 @@ void TfmccReceiver::send_feedback() {
   TfmccFeedbackHeader h;
   h.receiver = id_;
   h.round = round_;
+  // -1 is the "no estimate yet" sentinel: the sender treats any negative
+  // calc rate as a keepalive / receive-rate-only report (its eff < 0
+  // branches), so the two sides agree on the encoding.
   const double calc = calc_rate_Bps();
-  h.calc_rate_Bps = std::isfinite(calc) ? calc : 0.0;
-  if (!std::isfinite(calc)) h.calc_rate_Bps = -1.0;  // "no estimate yet"
+  h.calc_rate_Bps = std::isfinite(calc) ? calc : -1.0;
   h.recv_rate_Bps = recv_rate_.rate_Bps(now);
   h.loss_event_rate = loss_.loss_event_rate();
   h.has_rtt = has_rtt_;

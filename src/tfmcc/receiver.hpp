@@ -72,6 +72,9 @@ class TfmccReceiver final : public Agent {
   void update_clr_status(const TfmccDataHeader& h);
   void send_feedback();
   void schedule_clr_feedback();
+  /// Restore all per-membership measurement/round state to its
+  /// freshly-constructed values (called when rejoining after a leave).
+  void reset_membership_state();
   /// Bias ratio x for the feedback timer (§2.5.1, §2.6).
   double bias_ratio(const TfmccDataHeader& h) const;
 
@@ -83,6 +86,7 @@ class TfmccReceiver final : public Agent {
   Rng rng_;
 
   bool joined_{false};
+  bool ever_left_{false};  // a later join() is a rejoin and resets state
 
   // Loss measurement.
   SeqnoTracker seq_;

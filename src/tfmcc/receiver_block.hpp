@@ -1,0 +1,186 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mcast/session.hpp"
+#include "net/node.hpp"
+#include "sim/simulator.hpp"
+#include "tfmcc/config.hpp"
+#include "tfrc/loss_history.hpp"
+#include "tfrc/seqno_tracker.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace tfmcc {
+
+/// Packed per-receiver view of the modeled tier — the tfrc_rx_info idiom:
+/// everything the hybrid architecture keeps per silent receiver fits in a
+/// dozen bytes (the block's SoA arrays store exactly these fields).
+struct ModeledRxInfo {
+  static constexpr std::uint8_t kHasRtt = 1u << 0;    // RTT measured via echo
+  static constexpr std::uint8_t kReported = 1u << 1;  // sender has heard us
+  static constexpr std::uint8_t kClr = 1u << 2;       // currently the CLR
+
+  std::uint32_t rtt_us{0};        // current RTT estimate, microseconds
+  std::uint32_t extra_owd_us{0};  // virtual access one-way delay offset
+  std::uint8_t flags{0};
+
+  bool has_rtt() const { return (flags & kHasRtt) != 0; }
+  bool reported() const { return (flags & kReported) != 0; }
+  bool is_clr() const { return (flags & kClr) != 0; }
+};
+
+/// The modeled-receiver tier of the hybrid full/model architecture.
+///
+/// One block stands in for `count` TFMCC receivers that share a physical
+/// path (the "tap" node's multicast delivery): instead of `count`
+/// heap-of-objects agents each with its own feedback timer, the block keeps
+/// flat SoA arrays of the per-receiver state that actually differs — RTT
+/// estimate, virtual access-delay offset, a flags byte (see ModeledRxInfo) —
+/// and shares the state that is identical behind one tap by construction:
+/// sequence space, loss-interval history and receive-rate meter (all loss
+/// happens upstream of the tap, so every modeled receiver observes the same
+/// packet stream).
+///
+/// Per data packet the block does O(1) work.  Per feedback round it batch-
+/// draws the biased suppression timers over the contiguous receiver arrays
+/// (one equation-backend batch call for the calculated rates, one RNG draw
+/// per eligible receiver) and keeps only the earliest few contenders — the
+/// candidate short-list is sized from the analytic expected-feedback model
+/// (feedback_model::expected_messages), which bounds how many reports can
+/// survive suppression.  Only those contenders materialise as scheduler
+/// events and feedback packets; the silent majority never touches the
+/// scheduler.  Receivers the sender singles out (the CLR, echo targets) are
+/// tracked individually through the same arrays, so CLR duty, RTT
+/// acquisition and suppression dynamics match the full tier.
+///
+/// Virtual access delays: modeled receiver i's path RTT is the tap's
+/// physical RTT plus 2 * extra_owd(i), with the offsets stratified evenly
+/// over [extra_owd_min, extra_owd_max].  Echoes addressed to i add the
+/// detour when measuring, and feedback reduces its echo-hold time by the
+/// same amount so the sender-side measurement also comes out at the modeled
+/// RTT.
+class ModeledReceiverBlock final : public Agent {
+ public:
+  struct BlockConfig {
+    int count{1};              // modeled receivers represented by this block
+    std::int32_t base_id{0};   // receiver ids [base_id, base_id + count)
+    SimTime extra_owd_min{SimTime::zero()};
+    SimTime extra_owd_max{SimTime::zero()};
+    int max_candidates{64};    // hard cap on per-round feedback contenders
+  };
+
+  ModeledReceiverBlock(Simulator& sim, MulticastSession& session, NodeId tap,
+                       BlockConfig block_cfg, TfmccConfig cfg, Rng rng);
+  ~ModeledReceiverBlock() override;
+
+  ModeledReceiverBlock(const ModeledReceiverBlock&) = delete;
+  ModeledReceiverBlock& operator=(const ModeledReceiverBlock&) = delete;
+
+  /// Graft the tap onto the session and start representing the receivers.
+  void join();
+  /// Prune; sends explicit leave reports (§4.2) for every receiver the
+  /// sender has heard from, so CLR handoff works when the block held it.
+  void leave();
+
+  void handle_packet(const Packet& p) override;
+  int endpoint_count() const override { return joined_ ? bcfg_.count : 1; }
+
+  // --- state inspection ----------------------------------------------------
+  int count() const { return bcfg_.count; }
+  std::int32_t base_id() const { return bcfg_.base_id; }
+  bool joined() const { return joined_; }
+  bool hosts(std::int32_t receiver_id) const {
+    return receiver_id >= bcfg_.base_id &&
+           receiver_id < bcfg_.base_id + bcfg_.count;
+  }
+  int receivers_with_rtt() const { return with_rtt_; }
+  std::int64_t feedback_sent() const { return feedback_sent_; }
+  std::int64_t packets_received() const { return seq_.received(); }
+  std::int64_t packets_lost() const { return seq_.lost(); }
+  double loss_event_rate() const { return loss_.loss_event_rate(); }
+  bool has_loss() const { return loss_.has_loss(); }
+  double recv_rate_Bps() const { return recv_rate_.rate_Bps(sim_.now()); }
+  std::int32_t clr_id() const {
+    return clr_idx_ >= 0 ? bcfg_.base_id + clr_idx_ : kInvalidReceiver;
+  }
+  /// Packed snapshot of modeled receiver `i` (0-based block index).
+  ModeledRxInfo rx_info(int i) const;
+  /// Candidate short-list size used for the current round shape (analytic
+  /// expected-feedback bound; exposed for tests).
+  int candidate_cap();
+
+ private:
+  struct Candidate {
+    SimTime due;
+    std::int32_t idx;
+    double calc_Bps;  // rate at draw time (fire-time check recomputes)
+  };
+
+  void on_data(const Packet& p, const TfmccDataHeader& h);
+  void process_losses(const TfmccDataHeader& h, std::int64_t lost);
+  void process_echo(const TfmccDataHeader& h, SimTime now);
+  void update_clr_status(const TfmccDataHeader& h);
+  void on_new_round(const TfmccDataHeader& h, SimTime now);
+  void observe_suppression(const TfmccDataHeader& h);
+  void fire_candidate();
+  bool suppressed(const Candidate& c, SimTime now) const;
+  void send_feedback(int idx);
+  void schedule_clr_feedback();
+  void schedule_next_candidate();
+  /// Calculated rate of receiver `idx` with the shared p and its own RTT.
+  double calc_rate_Bps(int idx) const;
+  /// RTT the shared loss history aggregates with (mean over the block).
+  SimTime representative_rtt() const;
+  void set_rtt(int idx, SimTime rtt);
+
+  Simulator& sim_;
+  MulticastSession& session_;
+  NodeId tap_;
+  BlockConfig bcfg_;
+  TfmccConfig cfg_;
+  Rng rng_;
+
+  bool joined_{false};
+
+  // Shared measurement state (identical for every receiver behind the tap).
+  SeqnoTracker seq_;
+  LossHistory loss_;
+  WindowedRateMeter recv_rate_;
+  bool block_has_rtt_{false};  // first echo re-aggregates the shared history
+
+  // Flat SoA per-receiver state (the only state that differs per receiver).
+  std::vector<SimTime> rtt_;        // current estimate (initial_rtt at start)
+  std::vector<SimTime> extra_owd_;  // virtual access one-way delay offset
+  std::vector<std::uint8_t> flags_; // ModeledRxInfo flag bits
+  double rtt_sum_s_{0.0};           // running sum for representative_rtt()
+  int with_rtt_{0};
+
+  // Per-round scratch, reused to keep steady state allocation-free.
+  std::vector<double> ps_scratch_;
+  std::vector<double> calc_scratch_;
+
+  // Snapshot of the latest data packet (feedback echo fields).
+  SimTime last_data_send_ts_{};
+  SimTime last_data_arrival_{SimTime::infinity()};
+  double last_send_rate_{0.0};
+
+  // Feedback-round state.
+  std::int32_t round_{-1};
+  bool slowstart_round_{false};
+  double supp_rate_Bps_{-1.0};
+  bool supp_has_loss_{false};
+  std::vector<Candidate> candidates_;  // ascending by due time
+  std::size_t next_candidate_{0};
+  EventId cand_timer_{};
+  int cand_cap_{0};  // lazily sized from the expected-feedback model
+
+  // CLR state (at most one of the modeled receivers at a time).
+  std::int32_t clr_idx_{-1};
+  EventId clr_timer_{};
+
+  std::int64_t feedback_sent_{0};
+};
+
+}  // namespace tfmcc

@@ -89,6 +89,54 @@ TEST(TfmccClr, CrashedClrTimesOut) {
   EXPECT_NE(f.flow->sender().clr(), 1);
 }
 
+TEST(TfmccClr, ReceiverRejoinStartsCleanMembership) {
+  ClrFixture f;
+  f.flow->sender().start(SimTime::zero());
+  f.sim.run_until(60_sec);
+  auto& clean_rx = f.flow->receiver(0);
+  ASSERT_FALSE(clean_rx.has_loss());
+  clean_rx.leave();
+  f.sim.run_until(120_sec);  // the stream advances thousands of seqnos
+  clean_rx.join();
+  f.sim.run_until(150_sec);
+  // A rejoin must re-baseline the sequence space: on the lossless path the
+  // receiver sees no loss, so reading the 60 s absence gap as a loss burst
+  // is the regression this guards against.
+  EXPECT_GT(clean_rx.packets_received(), 0);
+  EXPECT_FALSE(clean_rx.has_loss());
+  EXPECT_EQ(clean_rx.packets_lost(), 0);
+}
+
+TEST(TfmccClr, ClrHandoffOnModeledBlockLeave) {
+  // Hybrid-tier counterpart of ExplicitLeaveTriggersSwitchAndRateIncrease:
+  // the lossy path hosts a modeled block, one of its receivers holds CLR
+  // duty, and the block's leave reports must hand the CLR to the remaining
+  // full receiver within the session (no silence timeout).
+  Simulator sim{63};
+  Topology topo{sim};
+  LinkConfig sender_link;
+  sender_link.rate_bps = 10e6;
+  sender_link.delay = 5_ms;
+  LinkConfig clean;
+  clean.rate_bps = 10e6;
+  clean.delay = 10_ms;
+  LinkConfig lossy = clean;
+  lossy.loss_rate = 0.05;
+  const Star star = make_star(topo, sender_link, {clean, lossy});
+  TfmccFlow flow{sim, topo, star.sender};
+  flow.add_joined_receiver(star.leaves[0]);
+  const int b = flow.add_modeled_block(star.leaves[1], 32);
+  flow.block(b).join();
+  flow.sender().start(SimTime::zero());
+  sim.run_until(90_sec);
+  ASSERT_TRUE(flow.block(b).hosts(flow.sender().clr()))
+      << "a modeled receiver behind the lossy tap should limit the session";
+  flow.block(b).leave();
+  sim.run_until(240_sec);
+  EXPECT_EQ(flow.sender().clr(), 0);
+  EXPECT_FALSE(flow.session().is_member(star.leaves[1]));
+}
+
 TEST(TfmccClr, NewLowRateReceiverTakesOverQuickly) {
   // A receiver behind a much slower bottleneck joins mid-session; §4.5
   // requires the CLR switch within a very few seconds.

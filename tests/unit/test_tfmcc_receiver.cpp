@@ -240,5 +240,70 @@ TEST(TfmccReceiverUnit, LeaveSendsLeaveReportAndDetaches) {
   EXPECT_FALSE(f.session->is_member(f.star.leaves[0]));
 }
 
+TEST(TfmccReceiverUnit, LeaveKeepsFinalMembershipStateInspectable) {
+  ReceiverFixture f;
+  for (int i = 0; i < 20; ++i) {
+    f.deliver(f.data(i));
+    f.advance(10_ms);
+  }
+  f.deliver(f.data(25));  // loss event
+  f.receiver->leave();
+  // The reset happens on rejoin, not on leave: post-run harnesses read the
+  // final membership's measurements after tearing the session down.
+  EXPECT_TRUE(f.receiver->has_loss());
+  EXPECT_EQ(f.receiver->packets_lost(), 5);
+}
+
+TEST(TfmccReceiverUnit, RejoinStartsFreshMembershipState) {
+  ReceiverFixture f;
+  // First membership: accumulate loss, a measured RTT, and CLR duty.
+  for (int i = 0; i < 20; ++i) {
+    f.deliver(f.data(i));
+    f.advance(10_ms);
+  }
+  auto h = f.data(25);  // packets 20..24 lost
+  h.echo.receiver = 0;
+  h.echo.ts = f.sim.now() - 80_ms;
+  h.echo.delay = 30_ms;
+  h.clr = 0;
+  f.deliver(h);
+  ASSERT_TRUE(f.receiver->has_loss());
+  ASSERT_TRUE(f.receiver->has_rtt_measurement());
+  ASSERT_TRUE(f.receiver->is_clr());
+  f.receiver->leave();
+  f.advance(10_sec);  // absent while the stream moves on
+
+  f.receiver->join();
+  // The new membership starts from constructed state: no loss history, no
+  // RTT measurement (back to the initial estimate), no CLR duty, fresh
+  // sequence space and round.
+  EXPECT_FALSE(f.receiver->has_loss());
+  EXPECT_DOUBLE_EQ(f.receiver->loss_event_rate(), 0.0);
+  EXPECT_FALSE(f.receiver->has_rtt_measurement());
+  EXPECT_EQ(f.receiver->rtt(), 500_ms);
+  EXPECT_FALSE(f.receiver->is_clr());
+  EXPECT_EQ(f.receiver->packets_received(), 0);
+  EXPECT_EQ(f.receiver->packets_lost(), 0);
+
+  // The stream resumed far ahead while we were away: the first packet of
+  // the new membership re-baselines the sequence space instead of reading
+  // the absence gap as a phantom loss burst.
+  f.round = 5;
+  f.deliver(f.data(1000));
+  EXPECT_FALSE(f.receiver->has_loss());
+  EXPECT_EQ(f.receiver->packets_received(), 1);
+  EXPECT_EQ(f.receiver->packets_lost(), 0);
+}
+
+TEST(TfmccReceiverUnit, RejoinSurvivesLifetimeFeedbackCounter) {
+  ReceiverFixture f;
+  f.deliver(f.data(0));
+  f.receiver->leave();  // leave report = 1 lifetime feedback
+  f.receiver->join();
+  // feedback_sent is a lifetime counter (harnesses sum it across a run),
+  // so it is the one piece of state a rejoin must NOT clear.
+  EXPECT_EQ(f.receiver->feedback_sent(), 1);
+}
+
 }  // namespace
 }  // namespace tfmcc

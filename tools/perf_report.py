@@ -41,6 +41,13 @@ SCENARIOS = [
     ("fig07_scaling_full_ladder", "fig07_scaling", []),
     ("fig12_rtt_acquisition_1000rx", "fig12_rtt_acquisition", []),
     ("fig13_rtt_change_1000rx", "fig13_rtt_change", []),
+    # Large-n legs of the hybrid full/model receiver tier: the fig07 ladder
+    # extended to n = 10^5 (analytic Monte-Carlo), and the fig12-class
+    # packet simulation at 10^5 receivers on modeled SoA blocks — the
+    # regression probe for the batched fan-out path.
+    ("fig07_scaling_100k_ladder", "fig07_scaling",
+     ["--set", "n_max=100000"]),
+    ("scale_hybrid_100k", "scale_hybrid_receivers", []),
 ]
 
 MICRO_FILTER = ("BM_SchedulerChurn|BM_EquationFull|BM_EquationBatch|"
