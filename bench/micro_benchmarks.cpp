@@ -7,6 +7,7 @@
 #include <benchmark/benchmark.h>
 
 #include "analysis/feedback_round.hpp"
+#include "net/builders.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/simulator.hpp"
 #include "tfmcc/feedback_timer.hpp"
@@ -124,6 +125,45 @@ void BM_PacketPoolChurn(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(n));
 }
 BENCHMARK(BM_PacketPoolChurn)->Arg(16)->Arg(256);
+
+void BM_MembershipChurn(benchmark::State& state, MembershipMode mode) {
+  // Tree maintenance under sustained membership churn: a dumbbell with n
+  // leaf hosts, alternating leave/rejoin over a half-full group — the
+  // steady-state pattern of the churn_flash_crowd scenario.  Incremental
+  // graft/prune walks only the toggled member's branch (O(path)); the full
+  // rebuild recomputes the whole tree (O(members x path)) per event.
+  const int n = static_cast<int>(state.range(0));
+  Simulator sim;
+  Topology topo{sim};
+  LinkConfig link;
+  link.rate_bps = 1e9;
+  link.delay = SimTime::millis(1);
+  Dumbbell d = make_dumbbell(topo, 1, n, link, link);
+  topo.compute_routes();
+  const GroupId gid = topo.create_group(d.left_hosts[0]);
+  topo.set_membership_mode(mode);
+  // Half the receivers are members; churn toggles cycle through them.
+  for (int i = 0; i < n; i += 2) topo.join(gid, d.right_hosts[static_cast<std::size_t>(i)]);
+  int next = 0;
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    const NodeId node = d.right_hosts[static_cast<std::size_t>(next)];
+    if (topo.is_member(gid, node)) {
+      topo.leave(gid, node);
+    } else {
+      topo.join(gid, node);
+    }
+    next = (next + 1) % n;
+    ++events;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+BENCHMARK_CAPTURE(BM_MembershipChurn, incremental, MembershipMode::kIncremental)
+    ->Arg(256)
+    ->Arg(2048);
+BENCHMARK_CAPTURE(BM_MembershipChurn, full_rebuild, MembershipMode::kFullRebuild)
+    ->Arg(256)
+    ->Arg(2048);
 
 void BM_FeedbackTimerDraw(benchmark::State& state) {
   FeedbackTimerConfig cfg;

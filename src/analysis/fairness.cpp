@@ -1,0 +1,43 @@
+#include "analysis/fairness.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace tfmcc {
+
+double jain_index(const std::vector<double>& x) {
+  if (x.empty()) return 1.0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (double v : x) {
+    sum += v;
+    sum_sq += v * v;
+  }
+  if (sum_sq == 0.0) return 1.0;
+  return (sum * sum) / (static_cast<double>(x.size()) * sum_sq);
+}
+
+double pairwise_jain(double a, double b) {
+  const double denom = 2.0 * (a * a + b * b);
+  if (denom == 0.0) return 1.0;
+  return (a + b) * (a + b) / denom;
+}
+
+FairnessReport fairness_report(std::vector<double> per_session_throughput) {
+  FairnessReport r;
+  r.throughput = std::move(per_session_throughput);
+  r.aggregate = jain_index(r.throughput);
+  const std::size_t n = r.throughput.size();
+  r.pairwise.assign(n, std::vector<double>(n, 1.0));
+  r.min_pairwise = 1.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const double pj = pairwise_jain(r.throughput[i], r.throughput[j]);
+      r.pairwise[i][j] = pj;
+      if (i != j) r.min_pairwise = std::min(r.min_pairwise, pj);
+    }
+  }
+  return r;
+}
+
+}  // namespace tfmcc

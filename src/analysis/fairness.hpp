@@ -1,0 +1,35 @@
+#pragma once
+
+// Inter-session fairness engine.
+//
+// Multi-session workloads (M TFMCC sessions sharing a bottleneck) are
+// summarized by Jain's fairness index over the per-session throughput
+// vector: J(x) = (sum x)^2 / (n * sum x^2), 1 when all sessions get equal
+// shares, 1/n when one session starves the rest.  The pairwise matrix
+// J(x_i, x_j) localizes unfairness to specific session pairs — a single
+// aggregate index cannot distinguish "everyone slightly unequal" from "two
+// sessions at war" (cf. Thomas et al., multi-flow congestion control).
+
+#include <vector>
+
+namespace tfmcc {
+
+/// Jain's fairness index of `x`; 1.0 for an empty or all-zero vector (a
+/// trivially fair allocation of nothing).
+double jain_index(const std::vector<double>& x);
+
+/// Two-element special case: (a+b)^2 / (2 (a^2+b^2)).
+double pairwise_jain(double a, double b);
+
+/// Per-session throughputs plus the derived fairness summary.
+struct FairnessReport {
+  std::vector<double> throughput;              // input vector, kept for CSV
+  std::vector<std::vector<double>> pairwise;   // pairwise[i][j] = J(x_i, x_j)
+  double aggregate{1.0};                       // J over the whole vector
+  double min_pairwise{1.0};                    // worst session pair
+};
+
+/// Build the full report from a per-session throughput vector.
+FairnessReport fairness_report(std::vector<double> per_session_throughput);
+
+}  // namespace tfmcc

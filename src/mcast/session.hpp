@@ -1,5 +1,6 @@
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 
 #include "net/packet.hpp"
@@ -11,17 +12,26 @@ namespace tfmcc {
 /// that binds receiver agents to group deliveries.  This is the layer the
 /// TFMCC sender/receiver (and any other multicast application) talk to,
 /// keeping group-management details out of the protocol code.
+///
+/// A session owns a (data_port, control_port) pair: data packets fan out to
+/// `data_port` on every member node, feedback flows unicast back to
+/// `control_port` on the source.  Concurrent sessions sharing nodes must use
+/// disjoint pairs (SessionManager allocates them); the defaults match the
+/// historical single-session port convention (kTfmccSenderPort = 1).
 class MulticastSession {
  public:
-  MulticastSession(Topology& topo, NodeId source, PortId data_port)
+  MulticastSession(Topology& topo, NodeId source, PortId data_port,
+                   PortId control_port = 1)
       : topo_{topo},
         source_{source},
         data_port_{data_port},
+        control_port_{control_port},
         group_{topo.create_group(source)} {}
 
   GroupId group() const { return group_; }
   NodeId source() const { return source_; }
   PortId data_port() const { return data_port_; }
+  PortId control_port() const { return control_port_; }
   Topology& topology() { return topo_; }
 
   /// Subscribe `member`'s agent (already attached to `data_port` on that
@@ -44,9 +54,13 @@ class MulticastSession {
     modeled_ += n;
     ++modeled_taps_;
   }
+  /// Mismatched removes (more receivers or taps than were ever added) used
+  /// to drive the counters negative and silently corrupt
+  /// total_endpoint_count(); clamp at zero so the count degrades to "no
+  /// modeled receivers" instead.
   void remove_modeled(int n) {
-    modeled_ -= n;
-    --modeled_taps_;
+    modeled_ = std::max(0, modeled_ - n);
+    modeled_taps_ = std::max(0, modeled_taps_ - 1);
   }
   int modeled_count() const { return modeled_; }
   int modeled_taps() const { return modeled_taps_; }
@@ -63,6 +77,7 @@ class MulticastSession {
   Topology& topo_;
   NodeId source_;
   PortId data_port_;
+  PortId control_port_;
   GroupId group_;
   int modeled_{0};       // modeled receivers currently joined via blocks
   int modeled_taps_{0};  // tap nodes hosting those blocks

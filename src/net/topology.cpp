@@ -127,25 +127,45 @@ GroupId Topology::create_group(NodeId source) {
   g.source = source;
   g.member_flags.resize(static_cast<std::size_t>(node_count()), 0);
   g.out_links.resize(static_cast<std::size_t>(node_count()));
+  g.attached.resize(static_cast<std::size_t>(node_count()), 0);
   groups_.push_back(std::move(g));
   return static_cast<GroupId>(groups_.size() - 1);
 }
 
+void Topology::ensure_group_capacity(GroupState& g) {
+  // Nodes can be added after create_group() (the late-join scenarios do);
+  // every per-node array must grow together.  member_flags alone used to
+  // grow in join(), leaving out_links indexed out of bounds at its
+  // create_group()-time size.
+  const auto n = static_cast<std::size_t>(node_count());
+  if (g.member_flags.size() < n) g.member_flags.resize(n, 0);
+  if (g.out_links.size() < n) g.out_links.resize(n);
+  if (g.attached.size() < n) g.attached.resize(n, 0);
+}
+
 void Topology::join(GroupId gid, NodeId member) {
   auto& g = groups_.at(static_cast<std::size_t>(gid));
+  ensure_group_capacity(g);
   g.members.insert(member);
-  const auto idx = static_cast<std::size_t>(member);
-  if (g.member_flags.size() <= idx) g.member_flags.resize(idx + 1, 0);
-  g.member_flags[idx] = 1;
-  rebuild_tree(g);
+  g.member_flags.at(static_cast<std::size_t>(member)) = 1;
+  if (membership_mode_ == MembershipMode::kFullRebuild) {
+    rebuild_tree(g);
+  } else {
+    graft(g, member);
+  }
 }
 
 void Topology::leave(GroupId gid, NodeId member) {
   auto& g = groups_.at(static_cast<std::size_t>(gid));
+  ensure_group_capacity(g);
   g.members.erase(member);
   const auto idx = static_cast<std::size_t>(member);
   if (idx < g.member_flags.size()) g.member_flags[idx] = 0;
-  rebuild_tree(g);
+  if (membership_mode_ == MembershipMode::kFullRebuild) {
+    rebuild_tree(g);
+  } else {
+    prune(g, member);
+  }
 }
 
 bool Topology::is_member(GroupId gid, NodeId n) const {
@@ -153,6 +173,13 @@ bool Topology::is_member(GroupId gid, NodeId n) const {
   const auto& g = groups_[static_cast<std::size_t>(gid)];
   const auto idx = static_cast<std::size_t>(n);
   return idx < g.member_flags.size() && g.member_flags[idx] != 0;
+}
+
+bool Topology::is_attached(GroupId gid, NodeId n) const {
+  assert(static_cast<std::size_t>(gid) < groups_.size());
+  const auto& g = groups_[static_cast<std::size_t>(gid)];
+  const auto idx = static_cast<std::size_t>(n);
+  return idx < g.attached.size() && g.attached[idx] != 0;
 }
 
 int Topology::member_count(GroupId gid) const {
@@ -169,36 +196,79 @@ const std::vector<Link*>& Topology::mcast_out_links(GroupId gid,
   return g.out_links[idx];
 }
 
+void Topology::rebuild_tree(GroupId gid) {
+  rebuild_tree(groups_.at(static_cast<std::size_t>(gid)));
+}
+
 void Topology::rebuild_tree(GroupState& g) {
   // Reverse-path tree: each member walks its unicast route towards the
   // source; the reversed edges of that walk are the tree edges.  Every node
   // has a unique parent (its unicast next hop towards the source), so the
   // union of the walks is a tree and no node receives duplicate copies.
+  // The attached flags persist on the group: they are exactly the state the
+  // incremental graft/prune maintenance keys off, so a full rebuild and any
+  // later incremental events compose.
+  ensure_group_capacity(g);
   for (auto& v : g.out_links) v.clear();
+  g.attached.assign(static_cast<std::size_t>(node_count()), 0);
   if (g.source == kInvalidNode) return;
-  // Reused scratch: a 1000-member session rebuilds its tree on every join,
-  // and a fresh per-call vector was one allocation each time.
-  attached_scratch_.assign(static_cast<std::size_t>(node_count()), 0);
-  std::vector<char>& attached = attached_scratch_;
-  for (NodeId m : g.members) {
-    NodeId cur = m;
-    int guard = node_count() + 1;
-    while (cur != g.source) {
-      if (attached[static_cast<std::size_t>(cur)]) break;  // shared trunk
-      attached[static_cast<std::size_t>(cur)] = 1;
-      Link* toward_src = node(cur).route(g.source);
-      if (toward_src == nullptr || guard-- <= 0) {
-        throw std::logic_error("multicast member unreachable from source; "
-                               "did you call compute_routes()?");
-      }
-      const NodeId parent = toward_src->destination().id();
-      Link* down = link_between(parent, cur);
-      if (down == nullptr) {
-        throw std::logic_error("asymmetric path: no reverse link for tree");
-      }
-      g.out_links[static_cast<std::size_t>(parent)].push_back(down);
-      cur = parent;
+  for (NodeId m : g.members) graft(g, m);
+}
+
+void Topology::graft(GroupState& g, NodeId member) {
+  // Walk the new member's reverse path towards the source, attaching nodes
+  // until the walk meets an already-attached node (the shared trunk) or the
+  // source itself.  This is the per-member walk of rebuild_tree, run once:
+  // O(new branch length) per join instead of O(members x path length).
+  if (g.source == kInvalidNode) return;
+  NodeId cur = member;
+  int guard = node_count() + 1;
+  while (cur != g.source) {
+    const auto ci = static_cast<std::size_t>(cur);
+    if (g.attached[ci]) break;  // shared trunk
+    Link* toward_src = node(cur).route(g.source);
+    if (toward_src == nullptr || guard-- <= 0) {
+      throw std::logic_error("multicast member unreachable from source; "
+                             "did you call compute_routes()?");
     }
+    const NodeId parent = toward_src->destination().id();
+    Link* down = link_between(parent, cur);
+    if (down == nullptr) {
+      throw std::logic_error("asymmetric path: no reverse link for tree");
+    }
+    g.attached[ci] = 1;
+    g.out_links[static_cast<std::size_t>(parent)].push_back(down);
+    cur = parent;
+  }
+}
+
+void Topology::prune(GroupState& g, NodeId member) {
+  // Pop the unique leaf path above the departed member: a node leaves the
+  // tree while it has no remaining tree children and is not a member in its
+  // own right.  The walk stops at the first node some other member still
+  // needs — an interior node keeps forwarding even after its own leave.
+  if (g.source == kInvalidNode) return;
+  NodeId cur = member;
+  int guard = node_count() + 1;
+  while (cur != g.source) {
+    const auto ci = static_cast<std::size_t>(cur);
+    if (!g.attached[ci] || !g.out_links[ci].empty() ||
+        g.member_flags[ci] != 0) {
+      break;
+    }
+    Link* toward_src = node(cur).route(g.source);
+    if (toward_src == nullptr || guard-- <= 0) {
+      throw std::logic_error("multicast member unreachable from source; "
+                             "did you call compute_routes()?");
+    }
+    const NodeId parent = toward_src->destination().id();
+    Link* down = link_between(parent, cur);
+    auto& fan_out = g.out_links[static_cast<std::size_t>(parent)];
+    const auto it = std::find(fan_out.begin(), fan_out.end(), down);
+    assert(it != fan_out.end());
+    if (it != fan_out.end()) fan_out.erase(it);
+    g.attached[ci] = 0;
+    cur = parent;
   }
 }
 

@@ -12,6 +12,15 @@
 
 namespace tfmcc {
 
+/// How group membership changes are folded into the distribution trees.
+/// Incremental graft/prune is the default: a join walks only the new
+/// member's reverse path until it meets the tree, a leave pops the unique
+/// leaf path — O(path length) per event instead of O(members x path).
+/// Full rebuild recomputes the whole tree from the member set on every
+/// event (the historical behaviour); it stays available as the oracle the
+/// churn property tests and BM_MembershipChurn compare against.
+enum class MembershipMode { kIncremental, kFullRebuild };
+
 /// Owns the nodes and links of an experiment, computes unicast routes
 /// (Dijkstra over propagation delay) and maintains multicast distribution
 /// trees (reverse-shortest-path trees, as dense-mode multicast routing
@@ -61,6 +70,24 @@ class Topology {
   /// Distribution-tree fan-out at `at` for group `g` (empty when none).
   const std::vector<Link*>& mcast_out_links(GroupId g, NodeId at) const;
 
+  /// True when `n` carries tree state for group `g` (it is on the
+  /// distribution path from the source to some member).  The source itself
+  /// is never "attached"; it is the tree root.
+  bool is_attached(GroupId g, NodeId n) const;
+
+  /// Recompute group `g`'s whole tree from its member set.  Behaviour-
+  /// identical to a leave+rejoin of every member in ascending id order;
+  /// exposed as the oracle the churn property tests compare the
+  /// incremental graft/prune maintenance against.
+  void rebuild_tree(GroupId g);
+
+  /// Selects incremental graft/prune (default) or full per-event rebuild.
+  /// Applies to subsequent join/leave calls; existing trees are untouched
+  /// (both modes maintain the same invariants, so switching mid-run is
+  /// safe).
+  void set_membership_mode(MembershipMode m) { membership_mode_ = m; }
+  MembershipMode membership_mode() const { return membership_mode_; }
+
   /// Total end-to-end propagation delay of the unicast path a -> b,
   /// +inf when unreachable.  (Diagnostics and tests.)
   SimTime path_delay(NodeId a, NodeId b) const;
@@ -75,9 +102,26 @@ class Topology {
     std::vector<char> member_flags;
     // out_links[node] = tree child links at that node.
     std::vector<std::vector<Link*>> out_links;
+    // attached[node] = 1 when the node has an incoming tree edge (it lies on
+    // the path from the source to some member).  This is what makes graft
+    // and prune O(path): a graft walk stops at the first attached node, a
+    // prune walk pops leaf nodes until it reaches one that is attached for
+    // somebody else (non-empty fan-out or a member in its own right).
+    std::vector<char> attached;
   };
 
   void rebuild_tree(GroupState& g);
+  /// Incremental graft: walk `member`'s reverse path towards the source,
+  /// attaching nodes until the walk meets an already-attached node (or the
+  /// source).  Exactly the per-member walk of rebuild_tree.
+  void graft(GroupState& g, NodeId member);
+  /// Incremental prune: pop the unique leaf path above `member` while the
+  /// node has no tree children and is not a member itself.
+  void prune(GroupState& g, NodeId member);
+  /// Grow the group's per-node arrays to the current node count, so nodes
+  /// added after create_group() are always in range (join() used to grow
+  /// member_flags only, leaving out_links indexed out of bounds).
+  void ensure_group_capacity(GroupState& g);
 
   Simulator& sim_;
   std::vector<std::unique_ptr<Node>> nodes_;
@@ -92,7 +136,7 @@ class Topology {
   bool adjacency_index_dirty_{true};
   std::vector<GroupState> groups_;
   std::vector<Link*> empty_links_{};
-  std::vector<char> attached_scratch_;
+  MembershipMode membership_mode_{MembershipMode::kIncremental};
   std::uint64_t rng_stream_counter_{1000};
 };
 

@@ -1,0 +1,99 @@
+#include "tfmcc/churn.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace tfmcc {
+
+ChurnDriver::ChurnDriver(TfmccFlow& flow, Rng rng)
+    : flow_{flow}, rng_{std::move(rng)} {}
+
+void ChurnDriver::schedule_flash_crowd(ScheduleBuilder& sched,
+                                       const std::vector<int>& ids,
+                                       SimTime ref_start, SimTime ref_spread) {
+  // Even spacing with up to one slot of uniform jitter: the crowd arrives
+  // as a dense ramp, not a single synchronized instant (which no real flash
+  // crowd produces and which would serialize every graft at one event
+  // time).
+  const auto n = static_cast<double>(ids.size());
+  for (std::size_t k = 0; k < ids.size(); ++k) {
+    const double slot = (static_cast<double>(k) + rng_.uniform01()) / n;
+    const int id = ids[k];
+    auto counters = counters_;
+    TfmccFlow* flow = &flow_;
+    sched.at(ref_start + ref_spread * slot, [flow, id, counters] {
+      if (!flow->receiver(id).joined()) {
+        flow->receiver(id).join();
+        ++counters->joins;
+      }
+    });
+    ++counters_->scheduled;
+  }
+}
+
+std::vector<int> ChurnDriver::schedule_leave_storm(ScheduleBuilder& sched,
+                                                   const std::vector<int>& ids,
+                                                   double fraction,
+                                                   SimTime ref_start,
+                                                   SimTime ref_spread) {
+  // Partial Fisher-Yates: draw the leaving cohort without bias, then spread
+  // the leaves over the storm window like the flash crowd spreads joins.
+  std::vector<int> pool = ids;
+  const auto want = static_cast<std::size_t>(
+      std::clamp(fraction, 0.0, 1.0) * static_cast<double>(pool.size()));
+  std::vector<int> leavers;
+  leavers.reserve(want);
+  for (std::size_t k = 0; k < want; ++k) {
+    const auto pick = static_cast<std::size_t>(rng_.uniform_int(
+        static_cast<std::int64_t>(k),
+        static_cast<std::int64_t>(pool.size()) - 1));
+    std::swap(pool[k], pool[pick]);
+    leavers.push_back(pool[k]);
+  }
+  const auto n = static_cast<double>(leavers.empty() ? 1 : leavers.size());
+  for (std::size_t k = 0; k < leavers.size(); ++k) {
+    const double slot = (static_cast<double>(k) + rng_.uniform01()) / n;
+    const int id = leavers[k];
+    auto counters = counters_;
+    TfmccFlow* flow = &flow_;
+    sched.at(ref_start + ref_spread * slot, [flow, id, counters] {
+      if (flow->receiver(id).joined()) {
+        flow->receiver(id).leave();
+        ++counters->leaves;
+      }
+    });
+    ++counters_->scheduled;
+  }
+  return leavers;
+}
+
+void ChurnDriver::schedule_random_churn(ScheduleBuilder& sched,
+                                        const std::vector<int>& ids,
+                                        int events, SimTime ref_start,
+                                        SimTime ref_end) {
+  if (ids.empty() || events <= 0) return;
+  const SimTime span = ref_end - ref_start;
+  for (int e = 0; e < events; ++e) {
+    const SimTime when = ref_start + span * rng_.uniform01();
+    const int id = ids[static_cast<std::size_t>(rng_.uniform_int(
+        0, static_cast<std::int64_t>(ids.size()) - 1))];
+    auto counters = counters_;
+    TfmccFlow* flow = &flow_;
+    // Membership is consulted at fire time, not schedule time: a toggle is
+    // a rejoin or a leave depending on what earlier events did to this
+    // receiver, which is exactly the out-of-order rejoin pattern the
+    // incremental graft/prune maintenance has to survive.
+    sched.at(when, [flow, id, counters] {
+      if (flow->receiver(id).joined()) {
+        flow->receiver(id).leave();
+        ++counters->leaves;
+      } else {
+        flow->receiver(id).join();
+        ++counters->joins;
+      }
+    });
+    ++counters_->scheduled;
+  }
+}
+
+}  // namespace tfmcc

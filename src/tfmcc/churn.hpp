@@ -1,0 +1,73 @@
+#pragma once
+
+// Dynamic-membership churn driver.
+//
+// The paper's evaluation keeps group membership static; its §4.2 leave/join
+// machinery and the CLR handoff are exactly what dynamic groups stress.
+// ChurnDriver scripts the three canonical churn workloads from the dynamic-
+// membership literature — flash-crowd joins, correlated leave storms, and
+// sustained random join/leave/rejoin churn — as event ladders on a
+// ScheduleBuilder reference timeline, so `--duration` rescales a whole
+// workload proportionally.  Receivers are reused across rejoin (the
+// receiver's own membership-state reset handles measurement hygiene), so a
+// 10k-event churn run allocates its receiver set exactly once.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/schedule.hpp"
+#include "tfmcc/flow.hpp"
+#include "util/rng.hpp"
+
+namespace tfmcc {
+
+/// Scripts join/leave ladders for one flow's receiver set.  All schedule_*
+/// calls place events on the builder's reference timeline; counters split
+/// scheduled (script size) from applied (events that actually toggled a
+/// receiver at run time).
+class ChurnDriver {
+ public:
+  ChurnDriver(TfmccFlow& flow, Rng rng);
+
+  /// Flash crowd: every receiver in `ids` joins, spread evenly (with
+  /// uniform jitter of one slot) over [start, start + spread].
+  void schedule_flash_crowd(ScheduleBuilder& sched,
+                            const std::vector<int>& ids, SimTime ref_start,
+                            SimTime ref_spread);
+
+  /// Correlated leave storm: a `fraction` of `ids` (chosen by the driver's
+  /// RNG) leaves within [start, start + spread].  Returns the ids that
+  /// leave, so callers can script their rejoin wave.
+  std::vector<int> schedule_leave_storm(ScheduleBuilder& sched,
+                                        const std::vector<int>& ids,
+                                        double fraction, SimTime ref_start,
+                                        SimTime ref_spread);
+
+  /// Sustained churn: `events` toggles at uniform-random instants in
+  /// [start, end], each picking a uniform-random receiver from `ids` and
+  /// flipping its membership (join if out, leave if in).
+  void schedule_random_churn(ScheduleBuilder& sched,
+                             const std::vector<int>& ids, int events,
+                             SimTime ref_start, SimTime ref_end);
+
+  int scheduled_events() const { return counters_->scheduled; }
+  int applied_joins() const { return counters_->joins; }
+  int applied_leaves() const { return counters_->leaves; }
+  int applied_events() const { return counters_->joins + counters_->leaves; }
+
+ private:
+  struct Counters {
+    int scheduled{0};
+    int joins{0};
+    int leaves{0};
+  };
+
+  TfmccFlow& flow_;
+  Rng rng_;
+  // Shared with the scheduled callbacks, as ScheduleBuilder does with its
+  // fired count, so the tallies survive moves of the driver.
+  std::shared_ptr<Counters> counters_{std::make_shared<Counters>()};
+};
+
+}  // namespace tfmcc

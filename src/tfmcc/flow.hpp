@@ -16,13 +16,18 @@ namespace tfmcc {
 /// "just give me a flow" API used by the examples and figure benches.
 class TfmccFlow {
  public:
+  /// `data_port`/`control_port` default to the historical single-session
+  /// convention; concurrent flows over one topology must be given disjoint
+  /// pairs (SessionManager does this automatically).
   TfmccFlow(Simulator& sim, Topology& topo, NodeId source,
             TfmccConfig cfg = {}, SimTime bin_width = SimTime::seconds(1.0),
-            std::uint64_t rng_stream = 7000)
+            std::uint64_t rng_stream = 7000,
+            PortId data_port = kTfmccDataPort,
+            PortId control_port = kTfmccSenderPort)
       : sim_{sim},
         cfg_{cfg},
         bin_width_{bin_width},
-        session_{topo, source, kTfmccDataPort},
+        session_{topo, source, data_port, control_port},
         sender_{std::make_unique<TfmccSender>(sim, session_, cfg,
                                               sim.make_rng(rng_stream))},
         rng_stream_{rng_stream} {}

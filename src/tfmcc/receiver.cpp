@@ -68,7 +68,7 @@ void TfmccReceiver::leave() {
   fb->src = self_;
   fb->dst = session_.source();
   fb->sport = session_.data_port();
-  fb->dport = kTfmccSenderPort;
+  fb->dport = session_.control_port();
   fb->size_bytes = cfg_.feedback_bytes;
   TfmccFeedbackHeader h;
   h.receiver = id_;
@@ -285,7 +285,7 @@ void TfmccReceiver::send_feedback() {
   fb->src = self_;
   fb->dst = session_.source();
   fb->sport = session_.data_port();
-  fb->dport = kTfmccSenderPort;
+  fb->dport = session_.control_port();
   fb->size_bytes = cfg_.feedback_bytes;
 
   TfmccFeedbackHeader h;

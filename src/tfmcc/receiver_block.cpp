@@ -65,7 +65,7 @@ void ModeledReceiverBlock::leave() {
     fb->src = tap_;
     fb->dst = session_.source();
     fb->sport = session_.data_port();
-    fb->dport = kTfmccSenderPort;
+    fb->dport = session_.control_port();
     fb->size_bytes = cfg_.feedback_bytes;
     TfmccFeedbackHeader h;
     h.receiver = bcfg_.base_id + i;
@@ -367,7 +367,7 @@ void ModeledReceiverBlock::send_feedback(int idx) {
   fb->src = tap_;
   fb->dst = session_.source();
   fb->sport = session_.data_port();
-  fb->dport = kTfmccSenderPort;
+  fb->dport = session_.control_port();
   fb->size_bytes = cfg_.feedback_bytes;
 
   TfmccFeedbackHeader h;

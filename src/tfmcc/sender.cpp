@@ -22,11 +22,11 @@ TfmccSender::TfmccSender(Simulator& sim, MulticastSession& session,
   echo_queue_.reserve(kMaxEchoQueue);
   session_.topology()
       .node(session_.source())
-      .attach_agent(kTfmccSenderPort, this);
+      .attach_agent(session_.control_port(), this);
 }
 
 TfmccSender::~TfmccSender() {
-  session_.topology().node(session_.source()).detach_agent(kTfmccSenderPort);
+  session_.topology().node(session_.source()).detach_agent(session_.control_port());
 }
 
 void TfmccSender::start(SimTime at) {
@@ -163,7 +163,7 @@ void TfmccSender::send_data() {
 
   auto pkt = sim_.make_packet();
   pkt->src = session_.source();
-  pkt->sport = kTfmccSenderPort;
+  pkt->sport = session_.control_port();
   pkt->dport = session_.data_port();
   pkt->group = session_.group();
   pkt->size_bytes = cfg_.packet_bytes;

@@ -1,0 +1,167 @@
+// Integration tests for the multi-session and churn layers: SessionManager
+// multiplexing several complete TFMCC sessions over one topology, and
+// ChurnDriver scripting membership ladders against a live flow.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "net/builders.hpp"
+#include "sim/schedule.hpp"
+#include "tfmcc/churn.hpp"
+#include "tfmcc/session_manager.hpp"
+
+namespace tfmcc {
+namespace {
+
+using namespace tfmcc::time_literals;
+
+struct MultiSessionFixture {
+  explicit MultiSessionFixture(std::uint64_t seed = 5) : sim{seed}, topo{sim} {
+    LinkConfig bn;
+    bn.rate_bps = 8e6;
+    bn.delay = 10_ms;
+    bn.queue_limit_packets = 50;
+    LinkConfig acc;
+    acc.rate_bps = 1e9;
+    acc.delay = 2_ms;
+    d = make_dumbbell(topo, 3, 3, bn, acc);
+    topo.compute_routes();
+  }
+  Simulator sim;
+  Topology topo;
+  Dumbbell d;
+};
+
+TEST(SessionManager, PortPairsAreDisjoint) {
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(SessionManager::control_port(i),
+              SessionManager::data_port(i) + 1);
+    for (int j = 0; j < i; ++j) {
+      EXPECT_NE(SessionManager::data_port(i), SessionManager::data_port(j));
+      EXPECT_NE(SessionManager::data_port(i), SessionManager::control_port(j));
+    }
+  }
+}
+
+TEST(SessionManager, ConcurrentSessionsAllDeliver) {
+  MultiSessionFixture f;
+  SessionManager mgr{f.sim, f.topo};
+  for (int s = 0; s < 3; ++s) {
+    const int i = mgr.add_session(f.d.left_hosts[static_cast<size_t>(s)]);
+    // Every receiver host subscribes to every session.
+    for (int r = 0; r < 3; ++r) {
+      mgr.flow(i).add_joined_receiver(f.d.right_hosts[static_cast<size_t>(r)]);
+    }
+  }
+  ASSERT_EQ(mgr.session_count(), 3);
+  mgr.start_all();
+  f.sim.run_until(20_sec);
+  for (int i = 0; i < 3; ++i) {
+    for (int r = 0; r < 3; ++r) {
+      EXPECT_GT(mgr.flow(i).receiver(r).packets_received(), 0)
+          << "session " << i << " receiver " << r;
+    }
+    EXPECT_GT(mgr.session_mean_kbps(i, 5_sec, 20_sec), 0.0) << "session " << i;
+  }
+}
+
+TEST(SessionManager, SessionsAreIndependentOfLaterAdditions) {
+  // Adding a session must not perturb existing sessions' randomness or
+  // behaviour: session 0's delivery trace is identical whether it runs
+  // alone or next to two more sessions on disjoint hosts.
+  auto run_session0 = [](int extra_sessions) {
+    MultiSessionFixture f;
+    SessionManager mgr{f.sim, f.topo};
+    mgr.add_session(f.d.left_hosts[0]);
+    mgr.flow(0).add_joined_receiver(f.d.right_hosts[0]);
+    for (int s = 0; s < extra_sessions; ++s) {
+      const int i = mgr.add_session(f.d.left_hosts[static_cast<size_t>(s + 1)]);
+      mgr.flow(i).add_joined_receiver(
+          f.d.right_hosts[static_cast<size_t>(s + 1)]);
+    }
+    // Only session 0 transmits, so its packet stream sees identical
+    // network conditions in both runs; the extra sessions' mere existence
+    // (construction order, RNG stream allocation) must not shift it.
+    mgr.flow(0).sender().start(SimTime::zero());
+    f.sim.run_until(10_sec);
+    return mgr.flow(0).receiver(0).packets_received();
+  };
+  EXPECT_EQ(run_session0(0), run_session0(2));
+}
+
+TEST(ChurnDriver, FlashCrowdJoinsEveryReceiverOnce) {
+  MultiSessionFixture f;
+  SessionManager mgr{f.sim, f.topo};
+  mgr.add_session(f.d.left_hosts[0]);
+  TfmccFlow& flow = mgr.flow(0);
+  std::vector<int> ids;
+  for (int r = 0; r < 3; ++r) {
+    ids.push_back(flow.add_receiver(f.d.right_hosts[static_cast<size_t>(r)]));
+  }
+  ScheduleBuilder sched{f.sim, 10_sec, 10_sec};
+  ChurnDriver churn{flow, f.sim.make_rng(99)};
+  churn.schedule_flash_crowd(sched, ids, 1_sec, 2_sec);
+  flow.sender().start(SimTime::zero());
+  f.sim.run_until(10_sec);
+  EXPECT_EQ(churn.applied_joins(), 3);
+  EXPECT_EQ(churn.applied_leaves(), 0);
+  EXPECT_EQ(churn.scheduled_events(), 3);
+  for (int id : ids) EXPECT_TRUE(flow.receiver(id).joined());
+  EXPECT_EQ(flow.session().member_count(), 3);
+}
+
+TEST(ChurnDriver, LeaveStormRemovesRequestedFractionAndRejoins) {
+  MultiSessionFixture f;
+  SessionManager mgr{f.sim, f.topo};
+  mgr.add_session(f.d.left_hosts[0]);
+  TfmccFlow& flow = mgr.flow(0);
+  std::vector<int> ids;
+  for (int r = 0; r < 3; ++r) {
+    ids.push_back(
+        flow.add_joined_receiver(f.d.right_hosts[static_cast<size_t>(r)]));
+  }
+  ScheduleBuilder sched{f.sim, 30_sec, 30_sec};
+  ChurnDriver churn{flow, f.sim.make_rng(100)};
+  const auto leavers =
+      churn.schedule_leave_storm(sched, ids, 2.0 / 3.0, 5_sec, 2_sec);
+  churn.schedule_flash_crowd(sched, leavers, 15_sec, 2_sec);
+  flow.sender().start(SimTime::zero());
+  f.sim.run_until(12_sec);
+  EXPECT_EQ(leavers.size(), 2u);
+  EXPECT_EQ(churn.applied_leaves(), 2);
+  EXPECT_EQ(flow.session().member_count(), 1);
+  f.sim.run_until(30_sec);
+  EXPECT_EQ(churn.applied_joins(), 2);  // the rejoin wave
+  EXPECT_EQ(flow.session().member_count(), 3);
+  for (int id : ids) EXPECT_TRUE(flow.receiver(id).joined());
+}
+
+TEST(ChurnDriver, RandomChurnTogglesConsistently) {
+  MultiSessionFixture f;
+  SessionManager mgr{f.sim, f.topo};
+  mgr.add_session(f.d.left_hosts[0]);
+  TfmccFlow& flow = mgr.flow(0);
+  std::vector<int> ids;
+  for (int r = 0; r < 3; ++r) {
+    ids.push_back(
+        flow.add_joined_receiver(f.d.right_hosts[static_cast<size_t>(r)]));
+  }
+  ScheduleBuilder sched{f.sim, 20_sec, 20_sec};
+  ChurnDriver churn{flow, f.sim.make_rng(101)};
+  churn.schedule_random_churn(sched, ids, 50, 1_sec, 18_sec);
+  flow.sender().start(SimTime::zero());
+  f.sim.run_until(20_sec);
+  EXPECT_EQ(churn.scheduled_events(), 50);
+  EXPECT_EQ(churn.applied_events(), 50);  // every toggle applies
+  // Start state was all-joined; final membership follows toggle parity.
+  for (int id : ids) {
+    EXPECT_EQ(flow.receiver(id).joined(),
+              flow.session().is_member(
+                  f.d.right_hosts[static_cast<size_t>(id)]));
+  }
+}
+
+}  // namespace
+}  // namespace tfmcc

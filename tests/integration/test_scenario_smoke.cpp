@@ -30,7 +30,8 @@ namespace {
 constexpr std::pair<const char*, const char*> kSmokeOverrides[] = {
     {"n_receivers", "8"}, {"n_tcp", "2"},  {"n_tails", "4"},
     {"trials", "2"},      {"n_max", "64"}, {"p_points", "8"},
-    {"ewma_steps", "10"},
+    {"ewma_steps", "10"}, {"churn_events", "64"}, {"n_sessions", "2"},
+    {"max_receivers", "4"},
 };
 
 ScenarioOptions smoke_options(const Scenario& s) {

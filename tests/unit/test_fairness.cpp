@@ -1,0 +1,57 @@
+#include "analysis/fairness.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tfmcc {
+namespace {
+
+TEST(Fairness, EqualSharesScoreOne) {
+  EXPECT_DOUBLE_EQ(jain_index({5.0, 5.0, 5.0, 5.0}), 1.0);
+  EXPECT_DOUBLE_EQ(pairwise_jain(3.0, 3.0), 1.0);
+}
+
+TEST(Fairness, SingleWinnerScoresOneOverN) {
+  EXPECT_DOUBLE_EQ(jain_index({10.0, 0.0, 0.0, 0.0}), 0.25);
+  EXPECT_DOUBLE_EQ(pairwise_jain(10.0, 0.0), 0.5);
+}
+
+TEST(Fairness, ScaleInvariant) {
+  const std::vector<double> x{1.0, 2.0, 3.0};
+  std::vector<double> scaled;
+  for (double v : x) scaled.push_back(v * 1000.0);
+  EXPECT_DOUBLE_EQ(jain_index(x), jain_index(scaled));
+}
+
+TEST(Fairness, DegenerateInputsAreTriviallyFair) {
+  EXPECT_DOUBLE_EQ(jain_index({}), 1.0);
+  EXPECT_DOUBLE_EQ(jain_index({0.0, 0.0}), 1.0);
+  EXPECT_DOUBLE_EQ(pairwise_jain(0.0, 0.0), 1.0);
+}
+
+TEST(Fairness, ReportMatrixIsSymmetricWithUnitDiagonal) {
+  const FairnessReport r = fairness_report({4.0, 2.0, 1.0});
+  ASSERT_EQ(r.pairwise.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(r.pairwise[i][i], 1.0);
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(r.pairwise[i][j], r.pairwise[j][i]);
+    }
+  }
+  // The worst pair is (4, 1): J = 25 / (2 * 17).
+  EXPECT_DOUBLE_EQ(r.min_pairwise, 25.0 / 34.0);
+  EXPECT_DOUBLE_EQ(r.pairwise[0][2], r.min_pairwise);
+  // Aggregate: (4+2+1)^2 / (3 * 21) = 49/63.
+  EXPECT_DOUBLE_EQ(r.aggregate, 49.0 / 63.0);
+  EXPECT_EQ(r.throughput, (std::vector<double>{4.0, 2.0, 1.0}));
+}
+
+TEST(Fairness, BoundsHold) {
+  // 1/n <= J <= 1 for any nonzero allocation.
+  const std::vector<double> x{0.1, 7.0, 3.3, 0.0, 12.0};
+  const double j = jain_index(x);
+  EXPECT_GE(j, 1.0 / static_cast<double>(x.size()));
+  EXPECT_LE(j, 1.0);
+}
+
+}  // namespace
+}  // namespace tfmcc

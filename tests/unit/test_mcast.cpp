@@ -161,6 +161,46 @@ TEST(Mcast, TwoIndependentGroups) {
   EXPECT_EQ(a8.count, 0);
 }
 
+TEST(Mcast, RemoveModeledClampsAtZero) {
+  // A mismatched remove (more modeled receivers than were added) must not
+  // drive the endpoint accounting negative.
+  StarFixture f;
+  MulticastSession sess{f.topo, f.star.sender, 7};
+  sess.join(f.star.leaves[0]);
+  sess.add_modeled(10);
+  EXPECT_EQ(sess.total_endpoint_count(), 10);  // 1 member - 1 tap + 10
+  sess.remove_modeled(25);                     // buggy caller over-removes
+  EXPECT_EQ(sess.modeled_count(), 0);
+  EXPECT_EQ(sess.modeled_taps(), 0);
+  EXPECT_EQ(sess.total_endpoint_count(), 1);
+  sess.remove_modeled(5);  // double remove: still clamped
+  EXPECT_EQ(sess.modeled_count(), 0);
+  EXPECT_EQ(sess.modeled_taps(), 0);
+  EXPECT_EQ(sess.total_endpoint_count(), 1);
+}
+
+TEST(Mcast, SessionsWithDistinctPortPairsShareANode) {
+  // Two sessions on the same topology with disjoint (data, control) port
+  // pairs: a node subscribed to both receives each session's data on the
+  // right port only — the multiplexing contract SessionManager relies on.
+  StarFixture f;
+  MulticastSession s1{f.topo, f.star.sender, 100, 101};
+  MulticastSession s2{f.topo, f.star.sender, 102, 103};
+  EXPECT_EQ(s1.control_port(), 101);
+  EXPECT_EQ(s2.control_port(), 103);
+  CountingAgent rx1, rx2;
+  f.topo.node(f.star.leaves[0]).attach_agent(100, &rx1);
+  f.topo.node(f.star.leaves[0]).attach_agent(102, &rx2);
+  s1.join(f.star.leaves[0]);
+  s2.join(f.star.leaves[0]);
+  s1.send_from_source(make_mcast(f.sim, f.star.sender, s1.group(), 100));
+  s2.send_from_source(make_mcast(f.sim, f.star.sender, s2.group(), 102));
+  s2.send_from_source(make_mcast(f.sim, f.star.sender, s2.group(), 102));
+  f.sim.run();
+  EXPECT_EQ(rx1.count, 1);
+  EXPECT_EQ(rx2.count, 2);
+}
+
 TEST(Mcast, UnreachableMemberThrows) {
   Simulator sim{1};
   Topology topo{sim};

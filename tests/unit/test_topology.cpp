@@ -77,6 +77,151 @@ TEST(Topology, LinkBetweenFindsAdjacency) {
   EXPECT_EQ(topo.link_between(a, a), nullptr);
 }
 
+// Count the distribution-tree edges of group g over all nodes.
+int tree_edge_count(const Topology& topo, GroupId g) {
+  int n = 0;
+  for (NodeId node = 0; node < topo.node_count(); ++node) {
+    n += static_cast<int>(topo.mcast_out_links(g, node).size());
+  }
+  return n;
+}
+
+TEST(TopologyMembership, GraftAttachesOnlyTheNewBranch) {
+  // Chain sender - r - a, plus r - b: joining a attaches {r, a}; joining b
+  // afterwards attaches only b (r is shared trunk).
+  Simulator sim{1};
+  Topology topo{sim};
+  const NodeId s = topo.add_node();
+  const NodeId r = topo.add_node();
+  const NodeId a = topo.add_node();
+  const NodeId b = topo.add_node();
+  topo.add_duplex_link(s, r, LinkConfig{});
+  topo.add_duplex_link(r, a, LinkConfig{});
+  topo.add_duplex_link(r, b, LinkConfig{});
+  topo.compute_routes();
+  const GroupId g = topo.create_group(s);
+  EXPECT_EQ(topo.membership_mode(), MembershipMode::kIncremental);
+
+  topo.join(g, a);
+  EXPECT_TRUE(topo.is_attached(g, r));
+  EXPECT_TRUE(topo.is_attached(g, a));
+  EXPECT_FALSE(topo.is_attached(g, b));
+  EXPECT_EQ(tree_edge_count(topo, g), 2);  // s->r, r->a
+
+  topo.join(g, b);
+  EXPECT_TRUE(topo.is_attached(g, b));
+  EXPECT_EQ(tree_edge_count(topo, g), 3);  // + r->b
+}
+
+TEST(TopologyMembership, PruneStopsAtSharedTrunkAndInteriorMembers) {
+  Simulator sim{1};
+  Topology topo{sim};
+  const NodeId s = topo.add_node();
+  const NodeId r = topo.add_node();
+  const NodeId a = topo.add_node();
+  const NodeId b = topo.add_node();
+  topo.add_duplex_link(s, r, LinkConfig{});
+  topo.add_duplex_link(r, a, LinkConfig{});
+  topo.add_duplex_link(r, b, LinkConfig{});
+  topo.compute_routes();
+  const GroupId g = topo.create_group(s);
+  topo.join(g, a);
+  topo.join(g, b);
+
+  // b leaves: only the r->b leaf edge goes; r stays attached for a.
+  topo.leave(g, b);
+  EXPECT_FALSE(topo.is_attached(g, b));
+  EXPECT_TRUE(topo.is_attached(g, r));
+  EXPECT_EQ(tree_edge_count(topo, g), 2);
+
+  // r is an interior member: a's leave must not prune r's own membership.
+  topo.join(g, r);
+  topo.leave(g, a);
+  EXPECT_TRUE(topo.is_attached(g, r));
+  EXPECT_TRUE(topo.is_member(g, r));
+  EXPECT_EQ(tree_edge_count(topo, g), 1);  // s->r only
+
+  // Last member leaves: the tree empties completely.
+  topo.leave(g, r);
+  EXPECT_FALSE(topo.is_attached(g, r));
+  EXPECT_EQ(tree_edge_count(topo, g), 0);
+}
+
+TEST(TopologyMembership, RejoinAfterLeaveRebuildsTheBranch) {
+  Simulator sim{1};
+  Topology topo{sim};
+  const NodeId s = topo.add_node();
+  const NodeId r = topo.add_node();
+  const NodeId a = topo.add_node();
+  topo.add_duplex_link(s, r, LinkConfig{});
+  topo.add_duplex_link(r, a, LinkConfig{});
+  topo.compute_routes();
+  const GroupId g = topo.create_group(s);
+  topo.join(g, a);
+  topo.leave(g, a);
+  topo.join(g, a);
+  EXPECT_TRUE(topo.is_member(g, a));
+  EXPECT_TRUE(topo.is_attached(g, a));
+  EXPECT_EQ(tree_edge_count(topo, g), 2);
+}
+
+TEST(TopologyMembership, NodeAddedAfterCreateGroupIsJoinable) {
+  // Regression: join() used to grow member_flags for late-added nodes but
+  // left out_links at its create_group()-time size, so building the tree
+  // through the late node's parent indexed out of bounds.
+  Simulator sim{1};
+  Topology topo{sim};
+  const NodeId s = topo.add_node();
+  const NodeId r = topo.add_node();
+  topo.add_duplex_link(s, r, LinkConfig{});
+  const GroupId g = topo.create_group(s);
+
+  const NodeId late = topo.add_node();
+  topo.add_duplex_link(r, late, LinkConfig{});
+  topo.compute_routes();
+
+  topo.join(g, late);
+  EXPECT_TRUE(topo.is_member(g, late));
+  EXPECT_TRUE(topo.is_attached(g, late));
+  EXPECT_EQ(tree_edge_count(topo, g), 2);  // s->r, r->late
+  topo.leave(g, late);
+  EXPECT_EQ(tree_edge_count(topo, g), 0);
+
+  // Same robustness on the full-rebuild oracle path.
+  const NodeId later = topo.add_node();
+  topo.add_duplex_link(r, later, LinkConfig{});
+  topo.compute_routes();
+  topo.set_membership_mode(MembershipMode::kFullRebuild);
+  topo.join(g, later);
+  EXPECT_TRUE(topo.is_attached(g, later));
+  EXPECT_EQ(tree_edge_count(topo, g), 2);
+}
+
+TEST(TopologyMembership, RebuildOracleMatchesIncrementalTree) {
+  // A public rebuild_tree() recomputes from the member set and must land on
+  // the same edges (order aside, and in ascending-join order even the order
+  // matches) as the incremental maintenance produced.
+  Simulator sim{1};
+  Topology topo{sim};
+  LinkConfig link;
+  const Dumbbell d = make_dumbbell(topo, 1, 6, link, link);
+  topo.compute_routes();
+  const GroupId g = topo.create_group(d.left_hosts[0]);
+  for (std::size_t i = 0; i < d.right_hosts.size(); i += 2) {
+    topo.join(g, d.right_hosts[i]);
+  }
+  std::vector<std::vector<Link*>> incremental;
+  for (NodeId n = 0; n < topo.node_count(); ++n) {
+    incremental.push_back(topo.mcast_out_links(g, n));
+  }
+  topo.rebuild_tree(g);
+  for (NodeId n = 0; n < topo.node_count(); ++n) {
+    EXPECT_EQ(topo.mcast_out_links(g, n),
+              incremental[static_cast<std::size_t>(n)])
+        << "fan-out differs at node " << n;
+  }
+}
+
 TEST(Builders, DumbbellShape) {
   Simulator sim{1};
   Topology topo{sim};

@@ -48,10 +48,14 @@ SCENARIOS = [
     ("fig07_scaling_100k_ladder", "fig07_scaling",
      ["--set", "n_max=100000"]),
     ("scale_hybrid_100k", "scale_hybrid_receivers", []),
+    # Dynamic-membership stress: 2000 receivers, >10k join/leave events on
+    # the incremental graft/prune path — the wall-clock regression probe for
+    # membership maintenance (BM_MembershipChurn gates the per-event cost).
+    ("churn_flash_crowd_2000rx", "churn_flash_crowd", []),
 ]
 
 MICRO_FILTER = ("BM_SchedulerChurn|BM_EquationFull|BM_EquationBatch|"
-                "BM_LossHistoryReceive")
+                "BM_LossHistoryReceive|BM_MembershipChurn")
 
 
 def run_micro(build_dir, min_time):
