@@ -12,6 +12,9 @@
 #include <sstream>
 #include <thread>
 
+#include "sim/sweep_state.hpp"
+#include "sim/trace.hpp"
+
 #if defined(__unix__) || defined(__APPLE__)
 #include <unistd.h>
 #endif
@@ -46,28 +49,12 @@ std::vector<std::string_view> split(std::string_view text, char sep) {
   }
 }
 
-/// Commentary a scenario interleaves with its CSV trace: the figure
-/// header, CHECK/NOTE lines, and blank lines.  Everything else is taken
-/// as CSV (header first, then rows) by the aggregator.
-bool is_commentary(std::string_view line) {
-  return line.empty() || line.front() == '#' ||
-         line.substr(0, 6) == "CHECK " || line.substr(0, 5) == "NOTE:";
-}
-
-/// Label for per-point diagnostics: "n_receivers=2,trials=50".
-std::string point_label(const std::vector<SweepAxis>& axes,
-                        const std::vector<std::string>& point) {
-  std::string label;
-  for (std::size_t a = 0; a < axes.size(); ++a) {
-    if (a != 0) label += ',';
-    label += axes[a].key + '=' + point[a];
-  }
-  return label;
-}
-
 struct PointResult {
   int rc{0};
-  std::string output;
+  /// The run's CSV content as an encoded RunTrace blob (commentary already
+  /// stripped, rows already split into cells by the worker thread), not the
+  /// raw text capture.
+  std::string trace;
   std::string error;
 };
 
@@ -95,41 +82,52 @@ bool stderr_is_tty() {
 /// line rewrites itself in place; when forced onto a non-TTY stream
 /// (`--progress` under redirection) each update is its own line.  Uses the
 /// monotonic clock so wall-clock adjustments cannot yield negative ETAs.
+///
+/// Counts are shard-local (`label` carries the "sweep shard i/n" prefix);
+/// percent and ETA weight each run by its cost hint, so a ladder grid that
+/// finished its cheap half does not claim to be half done.  Tasks restored
+/// from a checkpoint count toward the totals but not toward the observed
+/// rate — they cost this session nothing.
 class ProgressReporter {
  public:
-  ProgressReporter(std::size_t total, bool enabled, bool tty,
-                   std::ostream& err)
-      : total_{total},
+  ProgressReporter(std::string label, std::size_t total, double total_weight,
+                   std::size_t restored, double restored_weight, bool enabled,
+                   bool tty, std::ostream& err)
+      : label_{std::move(label)},
+        total_{total},
+        total_weight_{total_weight},
+        restored_weight_{restored_weight},
         enabled_{enabled},
         tty_{tty},
         err_{err},
-        start_{std::chrono::steady_clock::now()} {}
+        start_{std::chrono::steady_clock::now()},
+        done_{restored},
+        weight_done_{restored_weight} {}
 
   /// Thread-safe; called by workers after each completed run.
-  void task_done() {
-    const std::size_t done = done_.fetch_add(1) + 1;
-    if (!enabled_) return;
+  void task_done(double weight) {
     std::lock_guard<std::mutex> lock(mu_);
-    if (done <= printed_done_) return;  // a slower thread lost the race
+    ++done_;
+    weight_done_ += weight;
+    if (!enabled_) return;
     const auto now = std::chrono::steady_clock::now();
-    if (done != total_ &&
+    if (done_ != total_ &&
         now - last_print_ < std::chrono::milliseconds(200)) {
       return;
     }
-    printed_done_ = done;
+    printed_ = true;
     last_print_ = now;
     const double elapsed =
         std::chrono::duration<double>(now - start_).count();
-    const double eta =
-        elapsed / static_cast<double>(done) *
-        static_cast<double>(total_ - done);
-    char buf[160];
+    const double eta = weighted_eta_seconds(
+        elapsed, weight_done_ - restored_weight_,
+        total_weight_ - restored_weight_);
+    const double pct =
+        total_weight_ > 0.0 ? 100.0 * weight_done_ / total_weight_ : 100.0;
+    char buf[192];
     std::snprintf(buf, sizeof buf,
-                  "sweep: %zu/%zu runs (%.0f%%) elapsed %.1fs eta %.1fs",
-                  done, total_,
-                  100.0 * static_cast<double>(done) /
-                      static_cast<double>(total_),
-                  elapsed, eta);
+                  "%s: %zu/%zu runs (%.0f%%) elapsed %.1fs eta %.1fs",
+                  label_.c_str(), done_, total_, pct, elapsed, eta);
     if (tty_) {
       err_ << '\r' << buf << "  " << std::flush;
     } else {
@@ -139,18 +137,22 @@ class ProgressReporter {
 
   /// Terminates the in-place TTY line so later diagnostics start clean.
   void finish() {
-    if (enabled_ && tty_ && printed_done_ > 0) err_ << '\n';
+    if (enabled_ && tty_ && printed_) err_ << '\n';
   }
 
  private:
+  const std::string label_;
   const std::size_t total_;
+  const double total_weight_;
+  const double restored_weight_;
   const bool enabled_;
   const bool tty_;
   std::ostream& err_;
   const std::chrono::steady_clock::time_point start_;
-  std::atomic<std::size_t> done_{0};
   std::mutex mu_;
-  std::size_t printed_done_{0};
+  std::size_t done_;
+  double weight_done_;
+  bool printed_{false};
   std::chrono::steady_clock::time_point last_print_{};
 };
 
@@ -256,6 +258,31 @@ std::vector<std::vector<std::string>> expand_grid(
   return grid;
 }
 
+std::string point_label(const std::vector<SweepAxis>& axes,
+                        const std::vector<std::string>& point) {
+  std::string label;
+  for (std::size_t a = 0; a < axes.size(); ++a) {
+    if (a != 0) label += ',';
+    label += axes[a].key + '=' + point[a];
+  }
+  return label;
+}
+
+double sweep_point_cost(const std::vector<std::string>& point) {
+  double cost = 1.0;
+  for (const auto& value : point) {
+    double v = 0.0;
+    if (summary::parse_number(value, v) && v > 1.0) cost *= v;
+  }
+  return cost;
+}
+
+double weighted_eta_seconds(double elapsed_s, double weight_done,
+                            double weight_total) {
+  if (weight_done <= 0.0) return 0.0;
+  return elapsed_s / weight_done * std::max(0.0, weight_total - weight_done);
+}
+
 int run_sweep(const Scenario& scenario, const SweepOptions& sweep,
               std::ostream& out, std::ostream& err) {
   if (sweep.axes.empty()) {
@@ -300,6 +327,17 @@ int run_sweep(const Scenario& scenario, const SweepOptions& sweep,
     err << "error: --replicate needs at least one statistic\n";
     return 2;
   }
+  if (sweep.shard_count < 1 || sweep.shard_index < 0 ||
+      sweep.shard_index >= sweep.shard_count) {
+    err << "error: shard index " << sweep.shard_index
+        << " is out of range for " << sweep.shard_count
+        << " shard(s) (need 0 <= i < n)\n";
+    return 2;
+  }
+  if (sweep.checkpoint_every < 1) {
+    err << "error: --checkpoint-every must be at least 1\n";
+    return 2;
+  }
   const auto grid = expand_grid(sweep.axes);
 
   // Validate every point before running anything, so a bad axis value is
@@ -318,39 +356,132 @@ int run_sweep(const Scenario& scenario, const SweepOptions& sweep,
     }
   }
 
-  // Run the grid (times replicates) on a fixed-size pool.  One task is one
-  // scenario run; task t is replicate t % n_rep of grid point t / n_rep.
-  // Replicated sweeps stream: whenever the next task *in task order* has
-  // completed, its output is folded into its grid point's statistics
-  // accumulator and the raw capture is released, so the accumulators see
-  // rows in exactly the order the old buffer-everything merge fed them —
-  // byte-identical output, independent of completion order — while peak
-  // memory holds only the in-flight window instead of all grid x N runs.
+  // Run this shard's slice of the grid (times replicates) on a fixed-size
+  // pool.  One task is one scenario run; task t is replicate t % n_rep of
+  // grid point t / n_rep, and the shard owns the task iff it owns the
+  // point.  Completed tasks stream: whenever the next *owned task in task
+  // order* has completed, its trace is folded into its grid point's
+  // accumulator and the capture released, so the accumulators see rows in
+  // exactly the order a serial unsharded sweep would feed them —
+  // byte-identical output, independent of completion order and of the
+  // cost-ordered scheduling below — while peak memory holds only the
+  // in-flight window.
+  const SweepManifest manifest = SweepManifest::from(scenario, sweep);
   const std::size_t n_tasks = grid.size() * static_cast<std::size_t>(n_rep);
-  std::vector<PointResult> results(n_tasks);
-  std::atomic<std::size_t> next_task{0};
-  const bool err_is_stderr_tty = &err == &std::cerr && stderr_is_tty();
-  ProgressReporter progress(n_tasks, sweep.progress || err_is_stderr_tty,
-                            err_is_stderr_tty, err);
+  std::vector<double> point_cost(grid.size());
+  for (std::size_t p = 0; p < grid.size(); ++p) {
+    point_cost[p] = sweep_point_cost(grid[p]);
+  }
+  auto task_point = [n_rep](std::size_t t) {
+    return t / static_cast<std::size_t>(n_rep);
+  };
+  std::vector<std::size_t> owned_tasks;
+  for (std::size_t t = 0; t < n_tasks; ++t) {
+    if (shard_owns_point(manifest, task_point(t))) owned_tasks.push_back(t);
+  }
 
-  // Streaming fold state, all guarded by fold_mu.  Diagnostics produced
-  // mid-sweep are buffered and replayed after the progress line finishes:
-  // run failures (reported alone, like the old post-hoc scan) separately
-  // from the first merge error (reported only when every run succeeded).
-  std::mutex fold_mu;
-  std::vector<char> task_ready(n_tasks, 0);
-  std::size_t next_fold = 0;
+  // Fold state (guarded by fold_mu once workers start).
+  std::vector<char> folded(n_tasks, 0);
   std::string header;
   std::vector<summary::ColumnSummary> per_point;
+
+  if (!sweep.resume_path.empty()) {
+    SweepStateFile ckpt;
+    if (!load_state_file(sweep.resume_path, ckpt, err)) return 2;
+    if (ckpt.kind != SweepStateFile::Kind::kCheckpoint) {
+      err << "error: '" << sweep.resume_path
+          << "' is a shard partial, not a checkpoint (merge it with "
+             "`tfmcc_sim merge` instead)\n";
+      return 2;
+    }
+    if (!ckpt.manifest.matches(manifest, /*ignore_shard_index=*/false,
+                               "checkpoint '" + sweep.resume_path + "'",
+                               err)) {
+      return 2;
+    }
+    if (ckpt.header.empty() && !ckpt.points.empty()) {
+      err << "error: cannot load '" << sweep.resume_path
+          << "': point state without a CSV header\n";
+      return 2;
+    }
+    folded = std::move(ckpt.folded);
+    header = std::move(ckpt.header);
+    if (!header.empty()) {
+      per_point.assign(grid.size(),
+                       summary::ColumnSummary{summary::split_csv(header)});
+      for (auto& [idx, state] : ckpt.points) {
+        per_point[idx] = std::move(state);
+      }
+    }
+  }
+
+  std::size_t restored = 0;
+  double restored_weight = 0.0;
+  double owned_weight = 0.0;
+  for (std::size_t t : owned_tasks) {
+    owned_weight += point_cost[task_point(t)];
+    if (folded[t] != 0) {
+      ++restored;
+      restored_weight += point_cost[task_point(t)];
+    }
+  }
+
+  // Longest-expected-first scheduling over the still-pending owned tasks:
+  // starting the expensive points early keeps an uneven grid from stalling
+  // the pool on one giant tail run.  The reorder is bounded to blocks of
+  // consecutive tasks — folds (and therefore checkpoints and capture
+  // release) advance strictly in task order, so a global sort would hold
+  // every fold hostage to the cheapest task it scheduled last.  This
+  // permutes only which worker picks what, never the fold order, so output
+  // bytes are unaffected.
+  std::vector<std::size_t> schedule;
+  for (std::size_t t : owned_tasks) {
+    if (folded[t] == 0) schedule.push_back(t);
+  }
+  const std::size_t window = std::max<std::size_t>(
+      8, 4 * static_cast<std::size_t>(std::max(sweep.jobs, 1)));
+  for (std::size_t b = 0; b < schedule.size(); b += window) {
+    const auto first = schedule.begin() + static_cast<std::ptrdiff_t>(b);
+    const auto last =
+        schedule.begin() +
+        static_cast<std::ptrdiff_t>(std::min(b + window, schedule.size()));
+    std::stable_sort(first, last, [&](std::size_t a, std::size_t c) {
+      return point_cost[task_point(a)] > point_cost[task_point(c)];
+    });
+  }
+
+  std::string progress_label = "sweep";
+  if (sweep.shard_count > 1) {
+    progress_label += " shard " + std::to_string(sweep.shard_index) + "/" +
+                      std::to_string(sweep.shard_count);
+  }
+  const bool err_is_stderr_tty = &err == &std::cerr && stderr_is_tty();
+  ProgressReporter progress(std::move(progress_label), owned_tasks.size(),
+                            owned_weight, restored, restored_weight,
+                            sweep.progress || err_is_stderr_tty,
+                            err_is_stderr_tty, err);
+
+  // Diagnostics produced mid-sweep are buffered and replayed after the
+  // progress line finishes: run failures separately from the first merge
+  // error (reported only when every run succeeded), checkpoint-write
+  // failures last.
+  std::vector<PointResult> results(n_tasks);
+  std::atomic<std::size_t> next_slot{0};
+  std::mutex fold_mu;
+  std::vector<char> task_ready(n_tasks, 0);
+  std::size_t fold_cursor = 0;  // index into owned_tasks
+  std::size_t folds_since_ckpt = 0;
   std::ostringstream failure_log;
   std::ostringstream merge_log;
+  std::ostringstream ckpt_log;
   bool any_failed = false;
   bool merge_failed = false;
+  bool checkpoint_failed = false;
 
   // Folds one completed task (caller holds fold_mu; called in task order).
   auto fold_task = [&](std::size_t t) {
     PointResult& res = results[t];
-    const auto& point = grid[t / static_cast<std::size_t>(n_rep)];
+    const auto& point = grid[task_point(t)];
     const std::uint64_t rep = t % static_cast<std::size_t>(n_rep);
     if (res.rc != 0) {
       failure_log << "error: sweep point " << point_label(sweep.axes, point)
@@ -362,54 +493,87 @@ int run_sweep(const Scenario& scenario, const SweepOptions& sweep,
       }
       failure_log << '\n';
       any_failed = true;
-    } else if (n_rep > 1 && !any_failed && !merge_failed) {
-      std::istringstream is{res.output};
-      std::string line;
-      bool seen_header = false;
-      while (std::getline(is, line)) {
-        if (is_commentary(line)) continue;
-        if (!seen_header) {
-          seen_header = true;
-          if (header.empty()) {
-            header = line;
-            per_point.assign(grid.size(),
-                             summary::ColumnSummary{summary::split_csv(header)});
-          } else if (line != header) {
-            merge_log << "error: sweep point "
-                      << point_label(sweep.axes, point)
-                      << replicate_label(sweep, rep, n_rep)
-                      << " emitted CSV header '" << line
-                      << "' but earlier points emitted '" << header << "'\n";
-            merge_failed = true;
-            break;
-          }
-          continue;
-        }
-        auto& acc = per_point[t / static_cast<std::size_t>(n_rep)];
-        if (!acc.add_row(summary::split_csv(line), merge_log)) {
-          merge_log << "  (sweep point " << point_label(sweep.axes, point)
-                    << replicate_label(sweep, rep, n_rep) << ")\n";
+    } else if (!any_failed && !merge_failed) {
+      RunTrace trace;
+      std::string decode_err;
+      if (!RunTrace::decode(res.trace, trace, decode_err)) {
+        merge_log << "error: sweep point " << point_label(sweep.axes, point)
+                  << replicate_label(sweep, rep, n_rep)
+                  << " produced an unreadable trace: " << decode_err << '\n';
+        merge_failed = true;
+      } else if (trace.has_header()) {
+        const std::string line = trace.header_line();
+        if (header.empty()) {
+          header = line;
+          per_point.assign(grid.size(),
+                           summary::ColumnSummary{summary::split_csv(header)});
+        } else if (line != header) {
+          merge_log << "error: sweep point " << point_label(sweep.axes, point)
+                    << replicate_label(sweep, rep, n_rep)
+                    << " emitted CSV header '" << line
+                    << "' but earlier points emitted '" << header << "'\n";
           merge_failed = true;
-          break;
+        }
+        if (!merge_failed) {
+          auto& acc = per_point[task_point(t)];
+          for (std::size_t r = 0; r < trace.n_rows(); ++r) {
+            if (n_rep == 1) {
+              // The raw aggregate passes ragged rows through verbatim.
+              acc.add_row_unchecked(trace.row_cells(r));
+            } else if (!acc.add_row(trace.row_cells(r), merge_log)) {
+              merge_log << "  (sweep point " << point_label(sweep.axes, point)
+                        << replicate_label(sweep, rep, n_rep) << ")\n";
+              merge_failed = true;
+              break;
+            }
+          }
         }
       }
     }
-    // Streamed (or unusable): release the raw capture.  Single-replicate
-    // sweeps keep it — the raw rows are the output.
-    if (n_rep > 1) {
-      res.output.clear();
-      res.output.shrink_to_fit();
+    // Folded (or unusable): release the capture.
+    res.trace.clear();
+    res.trace.shrink_to_fit();
+  };
+
+  // Snapshot the fold state to the checkpoint file (caller holds fold_mu).
+  // Checkpoints stop once a failure is recorded: persisting a failed task
+  // as folded would let a resume skip it silently.
+  auto maybe_checkpoint = [&] {
+    if (sweep.checkpoint_path.empty() || checkpoint_failed || any_failed ||
+        merge_failed) {
+      return;
+    }
+    const bool all_done = fold_cursor == owned_tasks.size();
+    if (folds_since_ckpt <
+            static_cast<std::size_t>(sweep.checkpoint_every) &&
+        !all_done) {
+      return;
+    }
+    folds_since_ckpt = 0;
+    SweepStateFile ck;
+    ck.kind = SweepStateFile::Kind::kCheckpoint;
+    ck.manifest = manifest;
+    ck.header = header;
+    ck.folded = folded;
+    for (std::size_t p = 0; p < grid.size(); ++p) {
+      if (shard_owns_point(manifest, p) && !per_point.empty() &&
+          per_point[p].row_count() > 0) {
+        ck.points.emplace_back(p, per_point[p]);
+      }
+    }
+    if (!save_state_file_atomic(ck, sweep.checkpoint_path, ckpt_log)) {
+      checkpoint_failed = true;
     }
   };
 
   auto worker = [&] {
     for (;;) {
-      const std::size_t t = next_task.fetch_add(1);
-      if (t >= n_tasks) return;
+      const std::size_t slot = next_slot.fetch_add(1);
+      if (slot >= schedule.size()) return;
+      const std::size_t t = schedule[slot];
       const std::uint64_t rep = t % static_cast<std::size_t>(n_rep);
       std::ostringstream sink;
-      ScenarioOptions opts =
-          point_options(grid[t / static_cast<std::size_t>(n_rep)]);
+      ScenarioOptions opts = point_options(grid[task_point(t)]);
       // When replicating, every replicate's seed — including replicate 0 —
       // derives from the same effective base (`--seed`, defaulting to 0),
       // so the replicate set is a pure function of the base seed and does
@@ -432,20 +596,31 @@ int run_sweep(const Scenario& scenario, const SweepOptions& sweep,
         results[t].rc = -1;
         results[t].error = "unknown exception";
       }
-      results[t].output = sink.str();
+      // Strip commentary and split cells here, in the worker, so the fold
+      // (serialized behind fold_mu) only replays pre-parsed rows.
+      RunTrace::parse_text(sink.str()).encode(results[t].trace);
       {
         std::lock_guard<std::mutex> lock(fold_mu);
         task_ready[t] = 1;
-        while (next_fold < n_tasks && task_ready[next_fold] != 0) {
-          fold_task(next_fold);
-          ++next_fold;
+        while (fold_cursor < owned_tasks.size()) {
+          const std::size_t next = owned_tasks[fold_cursor];
+          if (folded[next] != 0) {  // restored from the checkpoint
+            ++fold_cursor;
+            continue;
+          }
+          if (task_ready[next] == 0) break;
+          fold_task(next);
+          folded[next] = 1;
+          ++fold_cursor;
+          ++folds_since_ckpt;
+          maybe_checkpoint();
         }
       }
-      progress.task_done();
+      progress.task_done(point_cost[task_point(t)]);
     }
   };
   const std::size_t n_workers = std::min<std::size_t>(
-      n_tasks, static_cast<std::size_t>(std::max(sweep.jobs, 1)));
+      schedule.size(), static_cast<std::size_t>(std::max(sweep.jobs, 1)));
   if (n_workers <= 1) {
     worker();
   } else {
@@ -460,101 +635,50 @@ int run_sweep(const Scenario& scenario, const SweepOptions& sweep,
     err << failure_log.str();
     return 1;
   }
-
-  if (n_rep == 1) {
-    // Raw aggregate: parse out one shared header (every run must agree on
-    // it) and each point's data rows, emitted in grid order with the swept
-    // values prepended.
-    std::vector<std::vector<std::string>> rows_per_task(n_tasks);
-    for (std::size_t t = 0; t < n_tasks; ++t) {
-      std::istringstream is{results[t].output};
-      std::string line;
-      bool seen_header = false;
-      while (std::getline(is, line)) {
-        if (is_commentary(line)) continue;
-        if (!seen_header) {
-          seen_header = true;
-          if (header.empty()) {
-            header = line;
-          } else if (line != header) {
-            err << "error: sweep point "
-                << point_label(sweep.axes, grid[t])
-                << " emitted CSV header '" << line
-                << "' but earlier points emitted '" << header << "'\n";
-            return 1;
-          }
-          continue;
-        }
-        rows_per_task[t].push_back(line);
-      }
-      // The raw capture is fully parsed; release it so peak memory holds
-      // one copy of the rows, not two.
-      results[t].output.clear();
-      results[t].output.shrink_to_fit();
-    }
-    if (header.empty()) {
-      err << "error: no CSV trace found in any sweep point's output\n";
-      return 1;
-    }
-    for (const auto& axis : sweep.axes) out << axis.key << ',';
-    out << header << '\n';
-    for (std::size_t i = 0; i < grid.size(); ++i) {
-      for (const auto& row : rows_per_task[i]) {
-        for (const auto& value : grid[i]) out << value << ',';
-        out << row << '\n';
-      }
-    }
-    return 0;
-  }
-
-  // Replicated aggregate: the accumulators already hold each point's rows —
-  // across all of its replicates, in replicate order — and collapse into
-  // statistics rows, one per distinct label tuple (all-numeric traces
-  // collapse to exactly one row per point; a per-flow trace keeps one row
-  // per flow).  Column classification (numeric vs label) must agree across
-  // points, or the expanded headers would disagree row by row; diverging
-  // points are a diagnosed error, not silently mixed columns.
   if (merge_failed) {
     err << merge_log.str();
     return 1;
   }
-  if (header.empty()) {
-    err << "error: no CSV trace found in any sweep point's output\n";
-    return 1;
+  if (checkpoint_failed) {
+    err << ckpt_log.str();
+    return 2;
   }
-
-  // The reference header comes from the first point that produced rows;
-  // rowless points emit nothing and are exempt from the comparison.
-  const summary::ColumnSummary* reference = nullptr;
-  for (std::size_t i = 0; i < grid.size(); ++i) {
-    if (per_point[i].row_count() > 0) {
-      reference = &per_point[i];
-      break;
-    }
-  }
-  if (reference == nullptr) reference = &per_point.front();
-  const std::vector<std::string> expanded = reference->header(sweep.stats);
-  for (std::size_t i = 0; i < grid.size(); ++i) {
-    if (per_point[i].row_count() > 0 &&
-        per_point[i].numeric_mask() != reference->numeric_mask()) {
-      err << "error: sweep point " << point_label(sweep.axes, grid[i])
-          << " has a different numeric/label column mix than earlier "
-             "points; cannot aggregate\n";
-      return 1;
+  // A fully-restored resume ran no workers, so the end-of-sweep checkpoint
+  // refresh did not happen in the fold loop; it is a no-op rewrite here.
+  if (!sweep.checkpoint_path.empty() && schedule.empty()) {
+    std::lock_guard<std::mutex> lock(fold_mu);
+    fold_cursor = owned_tasks.size();
+    maybe_checkpoint();
+    if (checkpoint_failed) {
+      err << ckpt_log.str();
+      return 2;
     }
   }
 
-  for (const auto& axis : sweep.axes) out << axis.key << ',';
-  for (const auto& name : expanded) out << name << ',';
-  out << "n_rep\n";
-  for (std::size_t i = 0; i < grid.size(); ++i) {
-    for (const auto& srow : per_point[i].summarize(sweep.stats)) {
-      for (const auto& value : grid[i]) out << value << ',';
-      for (const auto& cell : srow) out << cell << ',';
-      out << n_rep << '\n';
+  if (sweep.shard_count > 1) {
+    // Shards do not emit CSV: the partial artifact carries each owned
+    // point's accumulator bitwise, for `tfmcc_sim merge` to place into the
+    // full grid.
+    SweepStateFile part;
+    part.kind = SweepStateFile::Kind::kPartial;
+    part.manifest = manifest;
+    part.header = header;
+    for (std::size_t p = 0; p < grid.size(); ++p) {
+      if (shard_owns_point(manifest, p) && !per_point.empty() &&
+          per_point[p].row_count() > 0) {
+        part.points.emplace_back(p, std::move(per_point[p]));
+      }
     }
+    part.save(out);
+    return 0;
   }
-  return 0;
+
+  if (per_point.empty()) {
+    // No point produced CSV; emit_sweep_aggregate diagnoses via the empty
+    // header, but needs the vector shaped to the grid.
+    per_point.assign(grid.size(), summary::ColumnSummary{{}});
+  }
+  return emit_sweep_aggregate(manifest, grid, per_point, header, out, err);
 }
 
 int sweep_main(int argc, char** argv, std::ostream& err) {
@@ -562,6 +686,8 @@ int sweep_main(int argc, char** argv, std::ostream& err) {
     err << "usage: tfmcc_sim sweep <scenario> --sweep key=v1,v2,... "
            "[--sweep key=lo:hi:logN]... [--jobs N] [--replicate N] "
            "[--stats mean,stddev,cov,min,max] [--progress] "
+           "[--shard i/n] [--checkpoint <path>] [--checkpoint-every N] "
+           "[--resume <path>] "
            "[--duration <s>] [--seed <n>] [--set key=value]... "
            "[--output <path>]\n";
     return 2;
@@ -627,6 +753,61 @@ int sweep_main(int argc, char** argv, std::ostream& err) {
         return 2;
       }
       stats_given = true;
+      ++i;
+    } else if (arg == "--shard") {
+      // i/n: this invocation runs shard i of n and writes a partial
+      // artifact for `tfmcc_sim merge`.
+      bool ok = has_value;
+      if (ok) {
+        const std::string_view spec = argv[i + 1];
+        const std::size_t slash = spec.find('/');
+        ok = slash != std::string_view::npos;
+        if (ok) {
+          char* end = nullptr;
+          const std::string text{spec};
+          const long index = std::strtol(text.c_str(), &end, 10);
+          ok = end == text.c_str() + slash;
+          char* end2 = nullptr;
+          const long count =
+              ok ? std::strtol(text.c_str() + slash + 1, &end2, 10) : 0;
+          ok = ok && end2 == text.c_str() + text.size() && count >= 1 &&
+               count <= 10'000 && index >= 0 && index < count;
+          if (ok) {
+            sweep.shard_index = static_cast<int>(index);
+            sweep.shard_count = static_cast<int>(count);
+          }
+        }
+      }
+      if (!ok) {
+        err << "error: --shard expects i/n with 0 <= i < n <= 10000 "
+               "(e.g. --shard 0/3)\n";
+        return 2;
+      }
+      ++i;
+    } else if (arg == "--checkpoint") {
+      if (!has_value) {
+        err << "error: --checkpoint expects a file path\n";
+        return 2;
+      }
+      sweep.checkpoint_path = argv[i + 1];
+      ++i;
+    } else if (arg == "--checkpoint-every") {
+      char* end = nullptr;
+      const long every = has_value ? std::strtol(argv[i + 1], &end, 10) : 0;
+      if (!has_value || end == argv[i + 1] || *end != '\0' || every < 1 ||
+          every > 1'000'000) {
+        err << "error: --checkpoint-every expects an integer between 1 "
+               "and 1e6\n";
+        return 2;
+      }
+      sweep.checkpoint_every = static_cast<int>(every);
+      ++i;
+    } else if (arg == "--resume") {
+      if (!has_value) {
+        err << "error: --resume expects a checkpoint file path\n";
+        return 2;
+      }
+      sweep.resume_path = argv[i + 1];
       ++i;
     } else if (arg == "--progress") {
       sweep.progress = true;

@@ -72,6 +72,25 @@ bool parse_sweep_axis(std::string_view text, const ParamSpec* spec,
 std::vector<std::vector<std::string>> expand_grid(
     const std::vector<SweepAxis>& axes);
 
+/// Label for per-point diagnostics: "n_receivers=2,trials=50".
+std::string point_label(const std::vector<SweepAxis>& axes,
+                        const std::vector<std::string>& point);
+
+/// Scheduling/progress cost hint for one grid point: the product of its
+/// axis values that parse as numbers greater than 1 (n_receivers=2000 →
+/// 2000); non-numeric and small values contribute 1, so every hint is
+/// >= 1.  Purely a heuristic — it reorders *scheduling* (longest expected
+/// first, so uneven grids stop tail-stalling the pool) and weights the
+/// progress/ETA line, while fold order stays task order, preserving the
+/// byte-identity contract.
+double sweep_point_cost(const std::vector<std::string>& point);
+
+/// Weighted ETA: elapsed time extrapolated over remaining *work* (cost
+/// hints), not remaining run count — an uneven grid that finished its
+/// cheap half is not half done.  Returns 0 when no work has completed.
+double weighted_eta_seconds(double elapsed_s, double weight_done,
+                            double weight_total);
+
 struct SweepOptions {
   std::vector<SweepAxis> axes;
   int jobs{1};
@@ -83,6 +102,20 @@ struct SweepOptions {
   std::vector<summary::Stat> stats{summary::default_stats()};
   /// Force the progress/ETA line even when stderr is not a TTY.
   bool progress{false};
+  /// `--shard i/n`: run only the grid points this shard owns (point index
+  /// mod shard_count == shard_index) and write a partial-aggregate
+  /// artifact instead of CSV; `tfmcc_sim merge` folds the n partials into
+  /// the byte-identical unsharded aggregate.  shard_count 1 = unsharded.
+  int shard_index{0};
+  int shard_count{1};
+  /// `--checkpoint <path>`: periodically persist the fold state (atomic
+  /// temp-file + rename) so a killed sweep can continue with --resume.
+  /// Written after every `checkpoint_every` folded tasks.
+  std::string checkpoint_path;
+  int checkpoint_every{8};
+  /// `--resume <path>`: restore a checkpoint and re-run only the unfolded
+  /// suffix.  The checkpoint's manifest must match this sweep exactly.
+  std::string resume_path;
   /// Applied to every point (duration/seed/--set overrides); its output
   /// sink and output_path are ignored — the aggregate goes to `out`.
   ScenarioOptions base;

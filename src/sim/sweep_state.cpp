@@ -1,0 +1,583 @@
+#include "sim/sweep_state.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <istream>
+#include <ostream>
+#include <set>
+#include <sstream>
+
+namespace tfmcc {
+
+namespace {
+
+constexpr std::string_view kCheckpointMagic = "TFMCC-SWEEP-CKPT";
+constexpr std::string_view kPartialMagic = "TFMCC-SWEEP-PART";
+constexpr int kFormatVersion = 1;
+
+std::string stats_spelling(const std::vector<summary::Stat>& stats) {
+  std::string s;
+  for (summary::Stat st : stats) {
+    if (!s.empty()) s += ',';
+    s += summary::stat_name(st);
+  }
+  return s;
+}
+
+std::string join_cells(const std::vector<std::string>& cells) {
+  std::string line;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i != 0) line += ',';
+    line += cells[i];
+  }
+  return line;
+}
+
+/// Hex bitmap, 4 tasks per character, bit t%4 of nibble t/4.
+std::string encode_bitmap(const std::vector<char>& bits) {
+  static const char hex[] = "0123456789abcdef";
+  std::string out((bits.size() + 3) / 4, '0');
+  for (std::size_t t = 0; t < bits.size(); ++t) {
+    if (bits[t] != 0) {
+      const std::size_t i = t / 4;
+      const int nibble = (out[i] >= 'a' ? out[i] - 'a' + 10 : out[i] - '0') |
+                         (1 << (t % 4));
+      out[i] = hex[nibble];
+    }
+  }
+  return out;
+}
+
+bool decode_bitmap(const std::string& text, std::size_t n,
+                   std::vector<char>& bits) {
+  if (text.size() != (n + 3) / 4) return false;
+  bits.assign(n, 0);
+  for (std::size_t t = 0; t < n; ++t) {
+    const char c = text[t / 4];
+    int nibble;
+    if (c >= '0' && c <= '9') {
+      nibble = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      nibble = c - 'a' + 10;
+    } else {
+      return false;
+    }
+    bits[t] = static_cast<char>((nibble >> (t % 4)) & 1);
+  }
+  return true;
+}
+
+bool expect_token(std::istream& is, std::string_view want) {
+  std::string tok;
+  return (is >> tok) && tok == want;
+}
+
+}  // namespace
+
+SweepManifest SweepManifest::from(const Scenario& scenario,
+                                  const SweepOptions& sweep) {
+  SweepManifest m;
+  m.scenario = scenario.name;
+  m.axes = sweep.axes;
+  m.replicate = sweep.replicate;
+  m.stats = sweep.stats;
+  if (sweep.base.duration.has_value()) {
+    m.duration_ns = sweep.base.duration->count_nanos();
+  }
+  m.seed = sweep.base.seed;
+  for (const auto& [k, v] : sweep.base.params()) m.params.emplace_back(k, v);
+  m.shard_index = sweep.shard_index;
+  m.shard_count = sweep.shard_count;
+  return m;
+}
+
+std::size_t SweepManifest::n_points() const {
+  std::size_t n = 1;
+  for (const auto& axis : axes) n *= axis.values.size();
+  return n;
+}
+
+void SweepManifest::save(std::ostream& os) const {
+  os << "manifest " << kFormatVersion << '\n';
+  os << "scenario ";
+  summary::write_str(os, scenario);
+  os << "\nduration ";
+  if (duration_ns.has_value()) {
+    os << *duration_ns;
+  } else {
+    os << 'u';
+  }
+  os << "\nseed ";
+  if (seed.has_value()) {
+    os << *seed;
+  } else {
+    os << 'u';
+  }
+  os << "\nreplicate " << replicate << "\nstats ";
+  summary::write_str(os, stats_spelling(stats));
+  os << "\nshard " << shard_index << ' ' << shard_count;
+  os << "\nparams " << params.size() << '\n';
+  for (const auto& [k, v] : params) {
+    summary::write_str(os, k);
+    summary::write_str(os, v);
+    os << '\n';
+  }
+  os << "axes " << axes.size() << '\n';
+  for (const auto& axis : axes) {
+    summary::write_str(os, axis.key);
+    os << ' ' << axis.values.size() << ' ';
+    for (const auto& v : axis.values) summary::write_str(os, v);
+    os << '\n';
+  }
+}
+
+bool SweepManifest::load(std::istream& is, SweepManifest& out,
+                         std::string& err) {
+  out = SweepManifest{};
+  err = "truncated or malformed manifest";
+  int version = 0;
+  if (!expect_token(is, "manifest") || !(is >> version) ||
+      version != kFormatVersion) {
+    err = "unsupported manifest version";
+    return false;
+  }
+  if (!expect_token(is, "scenario") || !summary::read_str(is, out.scenario)) {
+    return false;
+  }
+  std::string tok;
+  if (!expect_token(is, "duration") || !(is >> tok)) return false;
+  if (tok != "u") {
+    try {
+      out.duration_ns = std::stoll(tok);
+    } catch (...) {
+      return false;
+    }
+  }
+  if (!expect_token(is, "seed") || !(is >> tok)) return false;
+  if (tok != "u") {
+    try {
+      out.seed = std::stoull(tok);
+    } catch (...) {
+      return false;
+    }
+  }
+  if (!expect_token(is, "replicate") || !(is >> out.replicate) ||
+      out.replicate < 1) {
+    return false;
+  }
+  std::string stats_text;
+  if (!expect_token(is, "stats") || !summary::read_str(is, stats_text)) {
+    return false;
+  }
+  std::ostringstream sink;
+  if (!summary::parse_stats(stats_text, out.stats, sink)) return false;
+  if (!expect_token(is, "shard") || !(is >> out.shard_index) ||
+      !(is >> out.shard_count) || out.shard_count < 1 ||
+      out.shard_index < 0 || out.shard_index >= out.shard_count) {
+    return false;
+  }
+  std::size_t n_params = 0;
+  if (!expect_token(is, "params") || !(is >> n_params) ||
+      n_params > (1u << 20)) {
+    return false;
+  }
+  for (std::size_t i = 0; i < n_params; ++i) {
+    std::string k, v;
+    if (!summary::read_str(is, k) || !summary::read_str(is, v)) return false;
+    out.params.emplace_back(std::move(k), std::move(v));
+  }
+  std::size_t n_axes = 0;
+  if (!expect_token(is, "axes") || !(is >> n_axes) || n_axes > 1024) {
+    return false;
+  }
+  for (std::size_t a = 0; a < n_axes; ++a) {
+    SweepAxis axis;
+    std::size_t n_values = 0;
+    if (!summary::read_str(is, axis.key) || !(is >> n_values) ||
+        n_values > 1'000'000) {
+      return false;
+    }
+    axis.values.resize(n_values);
+    for (auto& v : axis.values) {
+      if (!summary::read_str(is, v)) return false;
+    }
+    out.axes.push_back(std::move(axis));
+  }
+  err.clear();
+  return true;
+}
+
+bool SweepManifest::matches(const SweepManifest& other, bool ignore_shard_index,
+                            std::string_view what, std::ostream& err) const {
+  auto fail = [&](std::string_view field, const std::string& recorded,
+                  const std::string& current) {
+    err << "error: " << what << " does not match this sweep: " << field
+        << " was " << recorded << " when it was written but is " << current
+        << " now\n";
+    return false;
+  };
+  if (scenario != other.scenario) {
+    return fail("scenario", "'" + scenario + "'", "'" + other.scenario + "'");
+  }
+  if (axes.size() != other.axes.size()) {
+    return fail("sweep grid", std::to_string(axes.size()) + " axes",
+                std::to_string(other.axes.size()) + " axes");
+  }
+  for (std::size_t a = 0; a < axes.size(); ++a) {
+    if (axes[a].key != other.axes[a].key) {
+      return fail("sweep grid", "axis '" + axes[a].key + "'",
+                  "axis '" + other.axes[a].key + "'");
+    }
+    if (axes[a].values != other.axes[a].values) {
+      return fail("sweep grid",
+                  "axis '" + axes[a].key + "' with " +
+                      std::to_string(axes[a].values.size()) + " value(s)",
+                  "an axis with " +
+                      std::to_string(other.axes[a].values.size()) +
+                      " different value(s)");
+    }
+  }
+  if (replicate != other.replicate) {
+    return fail("--replicate", std::to_string(replicate),
+                std::to_string(other.replicate));
+  }
+  if (stats != other.stats) {
+    return fail("--stats", stats_spelling(stats),
+                stats_spelling(other.stats));
+  }
+  if (duration_ns != other.duration_ns) {
+    auto spell = [](const std::optional<std::int64_t>& d) {
+      return d.has_value() ? std::to_string(*d) + "ns" : std::string{"unset"};
+    };
+    return fail("--duration", spell(duration_ns), spell(other.duration_ns));
+  }
+  if (seed != other.seed) {
+    auto spell = [](const std::optional<std::uint64_t>& s) {
+      return s.has_value() ? std::to_string(*s) : std::string{"unset"};
+    };
+    return fail("--seed", spell(seed), spell(other.seed));
+  }
+  if (params != other.params) {
+    return fail("--set overrides", std::to_string(params.size()) + " keys",
+                std::to_string(other.params.size()) + " keys");
+  }
+  if (shard_count != other.shard_count) {
+    return fail("shard count", std::to_string(shard_count),
+                std::to_string(other.shard_count));
+  }
+  if (!ignore_shard_index && shard_index != other.shard_index) {
+    return fail("shard index", std::to_string(shard_index),
+                std::to_string(other.shard_index));
+  }
+  return true;
+}
+
+bool shard_owns_point(const SweepManifest& m, std::size_t point) {
+  return point % static_cast<std::size_t>(m.shard_count) ==
+         static_cast<std::size_t>(m.shard_index);
+}
+
+void SweepStateFile::save(std::ostream& os) const {
+  os << (kind == Kind::kCheckpoint ? kCheckpointMagic : kPartialMagic) << ' '
+     << kFormatVersion << '\n';
+  manifest.save(os);
+  os << "header ";
+  summary::write_str(os, header);
+  os << '\n';
+  if (kind == Kind::kCheckpoint) {
+    os << "folded " << folded.size() << ' ' << encode_bitmap(folded) << '\n';
+  }
+  os << "points " << points.size() << '\n';
+  for (const auto& [idx, state] : points) {
+    os << "point " << idx << '\n';
+    state.save(os);
+  }
+  os << "end\n";
+}
+
+bool SweepStateFile::load(std::istream& is, SweepStateFile& out,
+                          std::string& err) {
+  out = SweepStateFile{};
+  err = "truncated or malformed sweep state";
+  std::string magic;
+  int version = 0;
+  if (!(is >> magic) || !(is >> version)) return false;
+  if (magic == kCheckpointMagic) {
+    out.kind = Kind::kCheckpoint;
+  } else if (magic == kPartialMagic) {
+    out.kind = Kind::kPartial;
+  } else {
+    err = "not a sweep checkpoint or partial (bad magic)";
+    return false;
+  }
+  if (version != kFormatVersion) {
+    err = "unsupported sweep state version";
+    return false;
+  }
+  if (!SweepManifest::load(is, out.manifest, err)) return false;
+  err = "truncated or malformed sweep state";
+  if (!expect_token(is, "header") || !summary::read_str(is, out.header)) {
+    return false;
+  }
+  const std::size_t n_tasks = out.manifest.n_tasks();
+  if (out.kind == Kind::kCheckpoint) {
+    std::size_t n = 0;
+    std::string bitmap;
+    if (!expect_token(is, "folded") || !(is >> n) || n != n_tasks ||
+        !(is >> bitmap) || !decode_bitmap(bitmap, n, out.folded)) {
+      return false;
+    }
+    // The fold is strictly in task order over the shard's owned tasks, so
+    // the bitmap must be a prefix of that sequence: a set bit after a
+    // cleared owned bit (or any bit on an unowned task) marks corruption.
+    bool gap = false;
+    for (std::size_t t = 0; t < n_tasks; ++t) {
+      const std::size_t point =
+          t / static_cast<std::size_t>(out.manifest.replicate);
+      if (!shard_owns_point(out.manifest, point)) {
+        if (out.folded[t] != 0) {
+          err = "checkpoint marks a task its shard does not own";
+          return false;
+        }
+        continue;
+      }
+      if (out.folded[t] != 0 && gap) {
+        err = "checkpoint bitmap is not a prefix of the fold order";
+        return false;
+      }
+      if (out.folded[t] == 0) gap = true;
+    }
+  }
+  std::size_t n_states = 0;
+  if (!expect_token(is, "points") || !(is >> n_states) ||
+      n_states > out.manifest.n_points()) {
+    return false;
+  }
+  std::set<std::size_t> seen;
+  for (std::size_t i = 0; i < n_states; ++i) {
+    std::size_t idx = 0;
+    if (!expect_token(is, "point") || !(is >> idx) ||
+        idx >= out.manifest.n_points() ||
+        !shard_owns_point(out.manifest, idx) || !seen.insert(idx).second) {
+      return false;
+    }
+    summary::ColumnSummary state{{}};
+    std::string state_err;
+    if (!summary::ColumnSummary::load(is, state, state_err)) {
+      err = state_err;
+      return false;
+    }
+    out.points.emplace_back(idx, std::move(state));
+  }
+  if (!expect_token(is, "end")) return false;
+  err.clear();
+  return true;
+}
+
+bool save_state_file_atomic(const SweepStateFile& state,
+                            const std::string& path, std::ostream& err) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os{tmp, std::ios::binary | std::ios::trunc};
+    if (!os) {
+      err << "error: cannot open '" << tmp << "' for writing\n";
+      return false;
+    }
+    state.save(os);
+    os.flush();
+    if (!os) {
+      err << "error: failed writing '" << tmp << "'\n";
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    err << "error: cannot rename '" << tmp << "' to '" << path << "'\n";
+    return false;
+  }
+  return true;
+}
+
+bool load_state_file(const std::string& path, SweepStateFile& out,
+                     std::ostream& err) {
+  std::ifstream is{path, std::ios::binary};
+  if (!is) {
+    err << "error: cannot open '" << path << "'\n";
+    return false;
+  }
+  std::string why;
+  if (!SweepStateFile::load(is, out, why)) {
+    err << "error: cannot load '" << path << "': " << why << '\n';
+    return false;
+  }
+  return true;
+}
+
+int emit_sweep_aggregate(const SweepManifest& manifest,
+                         const std::vector<std::vector<std::string>>& grid,
+                         const std::vector<summary::ColumnSummary>& per_point,
+                         const std::string& header, std::ostream& out,
+                         std::ostream& err) {
+  if (header.empty()) {
+    err << "error: no CSV trace found in any sweep point's output\n";
+    return 1;
+  }
+  const std::vector<SweepAxis>& axes = manifest.axes;
+
+  if (manifest.replicate == 1) {
+    // Raw aggregate: every point's rows verbatim, in grid order, with the
+    // swept values prepended.
+    for (const auto& axis : axes) out << axis.key << ',';
+    out << header << '\n';
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      for (const auto& row : per_point[i].rows()) {
+        for (const auto& value : grid[i]) out << value << ',';
+        out << join_cells(row) << '\n';
+      }
+    }
+    return 0;
+  }
+
+  // Replicated aggregate: one statistics row per point and label group.
+  // The reference header comes from the first point that produced rows;
+  // rowless points emit nothing and are exempt from the comparison.
+  const summary::ColumnSummary* reference = nullptr;
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    if (per_point[i].row_count() > 0) {
+      reference = &per_point[i];
+      break;
+    }
+  }
+  if (reference == nullptr) reference = &per_point.front();
+  const std::vector<std::string> expanded =
+      reference->header(manifest.stats);
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    if (per_point[i].row_count() > 0 &&
+        per_point[i].numeric_mask() != reference->numeric_mask()) {
+      err << "error: sweep point " << point_label(axes, grid[i])
+          << " has a different numeric/label column mix than earlier "
+             "points; cannot aggregate\n";
+      return 1;
+    }
+  }
+
+  for (const auto& axis : axes) out << axis.key << ',';
+  for (const auto& name : expanded) out << name << ',';
+  out << "n_rep\n";
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    for (const auto& srow : per_point[i].summarize(manifest.stats)) {
+      for (const auto& value : grid[i]) out << value << ',';
+      for (const auto& cell : srow) out << cell << ',';
+      out << manifest.replicate << '\n';
+    }
+  }
+  return 0;
+}
+
+int merge_main(int argc, char** argv, std::ostream& err) {
+  std::optional<std::string> output_path;
+  std::vector<std::string> part_paths;
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--output") {
+      if (i + 1 >= argc) {
+        err << "error: --output expects a path\n";
+        return 2;
+      }
+      output_path = argv[i + 1];
+      ++i;
+    } else if (arg.substr(0, 2) == "--") {
+      err << "error: unknown merge flag '" << arg << "'\n";
+      return 2;
+    } else {
+      part_paths.emplace_back(arg);
+    }
+  }
+  if (part_paths.empty()) {
+    err << "usage: tfmcc_sim merge [--output <path>] <partial>...\n"
+           "Folds the partial-aggregate artifacts written by "
+           "`sweep --shard i/n` — all n of them, each exactly once — into "
+           "the aggregate CSV the unsharded sweep would have written.\n";
+    return 2;
+  }
+
+  std::vector<SweepStateFile> parts(part_paths.size());
+  for (std::size_t i = 0; i < part_paths.size(); ++i) {
+    if (!load_state_file(part_paths[i], parts[i], err)) return 2;
+    if (parts[i].kind != SweepStateFile::Kind::kPartial) {
+      err << "error: '" << part_paths[i]
+          << "' is a sweep checkpoint, not a shard partial (resume it with "
+             "`sweep ... --resume` instead)\n";
+      return 2;
+    }
+  }
+  const SweepManifest& ref = parts.front().manifest;
+  if (parts.size() != static_cast<std::size_t>(ref.shard_count)) {
+    err << "error: sweep was sharded " << ref.shard_count << " ways but "
+        << parts.size() << " partial(s) were given\n";
+    return 2;
+  }
+  std::set<int> shards_seen;
+  std::string header;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (!parts[i].manifest.matches(ref, /*ignore_shard_index=*/true,
+                                   "partial '" + part_paths[i] + "'", err)) {
+      return 2;
+    }
+    if (!shards_seen.insert(parts[i].manifest.shard_index).second) {
+      err << "error: shard " << parts[i].manifest.shard_index << "/"
+          << ref.shard_count << " appears more than once\n";
+      return 2;
+    }
+    if (!parts[i].header.empty()) {
+      if (header.empty()) {
+        header = parts[i].header;
+      } else if (parts[i].header != header) {
+        err << "error: partial '" << part_paths[i]
+            << "' recorded CSV header '" << parts[i].header
+            << "' but earlier partials recorded '" << header << "'\n";
+        return 2;
+      }
+    }
+  }
+
+  const auto grid = expand_grid(ref.axes);
+  const std::vector<std::string> columns = summary::split_csv(header);
+  std::vector<summary::ColumnSummary> per_point(
+      grid.size(), summary::ColumnSummary{columns});
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    for (auto& [idx, state] : parts[i].points) {
+      if (idx >= grid.size()) {
+        err << "error: partial '" << part_paths[i]
+            << "' has state for point " << idx << " outside the grid\n";
+        return 2;
+      }
+      if (state.columns() != columns) {
+        err << "error: partial '" << part_paths[i]
+            << "' point state disagrees with the recorded CSV header\n";
+        return 2;
+      }
+      // Each point has exactly one owner (validated at load), so this move
+      // installs the accumulator bitwise as the owning shard folded it.
+      per_point[idx] = std::move(state);
+    }
+  }
+
+  std::ofstream file;
+  std::ostream* out = &std::cout;
+  if (output_path.has_value()) {
+    if (!open_output_file(*output_path, file, err)) return 2;
+    out = &file;
+  }
+  SweepManifest unsharded = ref;
+  unsharded.shard_index = 0;
+  unsharded.shard_count = 1;
+  const int rc = emit_sweep_aggregate(unsharded, grid, per_point, header,
+                                      *out, err);
+  if (file.is_open() && !finish_output_file(*output_path, file, err)) {
+    return 2;
+  }
+  return rc;
+}
+
+}  // namespace tfmcc

@@ -1,0 +1,129 @@
+#pragma once
+
+// Campaign-scale sweep plumbing: sharding, checkpoint/resume, and the
+// partial-aggregate artifacts `tfmcc_sim merge` folds back together.
+//
+// The determinism contract extends the existing `--jobs N == --jobs 1`
+// byte-identity guarantee in two directions:
+//
+//   * Sharding.  `--shard i/n` gives shard i every grid point p with
+//     p % n == i (all of a point's replicates stay together).  Each
+//     point's accumulator sees exactly the rows, in exactly the order, the
+//     unsharded sweep would feed it — which other points run alongside it
+//     changes nothing — so a shard's partial state for its points is
+//     bitwise-identical to the unsharded sweep's, and `merge` only ever
+//     places each point's state from its unique owner.  Merged output is
+//     therefore byte-identical (`cmp`) to the unsharded aggregate, and
+//     merging partials is exactly associative.
+//
+//   * Resume.  Tasks fold into the accumulators strictly in task order, so
+//     a checkpoint is always a *prefix* of the fold sequence: the folded
+//     bitmap plus each touched point's serialized accumulator.  A resumed
+//     sweep re-runs only the unfolded suffix and continues folding in the
+//     same order, making its output byte-identical to an uninterrupted run.
+//
+// Both file kinds open with a manifest — scenario, axes, replicate count,
+// stats, base overrides, shard — and a resume or merge that does not match
+// the invoking sweep is refused with a diagnostic rather than silently
+// blended.  Row data inside the files uses the length-prefixed accumulator
+// serialization (analysis/summary), not CSV: nothing is re-parsed on load.
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/summary.hpp"
+#include "sim/sweep.hpp"
+
+namespace tfmcc {
+
+/// Everything that identifies one sweep: the fields two invocations must
+/// agree on for their accumulator states to be interchangeable.
+struct SweepManifest {
+  std::string scenario;
+  std::vector<SweepAxis> axes;
+  int replicate{1};
+  std::vector<summary::Stat> stats;
+  std::optional<std::int64_t> duration_ns;
+  std::optional<std::uint64_t> seed;
+  /// Base `--set` overrides, in the options' (sorted-map) order.
+  std::vector<std::pair<std::string, std::string>> params;
+  int shard_index{0};
+  int shard_count{1};
+
+  static SweepManifest from(const Scenario& scenario,
+                            const SweepOptions& sweep);
+
+  std::size_t n_points() const;
+  std::size_t n_tasks() const {
+    return n_points() * static_cast<std::size_t>(replicate);
+  }
+
+  void save(std::ostream& os) const;
+  static bool load(std::istream& is, SweepManifest& out, std::string& err);
+
+  /// True when `other` describes the same sweep.  Otherwise writes a
+  /// diagnostic naming the first differing field, prefixed with `what`
+  /// ("checkpoint" / "partial").  `ignore_shard_index` is set when merging
+  /// partials, which differ in shard index by construction.
+  bool matches(const SweepManifest& other, bool ignore_shard_index,
+               std::string_view what, std::ostream& err) const;
+};
+
+/// Shard ownership rule: grid point p belongs to shard p % shard_count.
+/// Round-robin keeps monotone-cost ladders (2..2000 receivers) balanced
+/// across shards instead of handing one shard the whole expensive tail.
+bool shard_owns_point(const SweepManifest& m, std::size_t point);
+
+/// On-disk state shared by checkpoints and shard partials: the manifest,
+/// the CSV header once one was seen, per-point accumulator states, and —
+/// for checkpoints — the completed-task bitmap.
+struct SweepStateFile {
+  enum class Kind { kCheckpoint, kPartial };
+  Kind kind{Kind::kCheckpoint};
+  SweepManifest manifest;
+  std::string header;
+  /// Checkpoints only: folded[t] != 0 when global task t's output has been
+  /// folded.  Always a prefix of the shard's task order (ascending global
+  /// index over owned tasks); load() enforces that invariant.
+  std::vector<char> folded;
+  /// (global point index, accumulator) for every point with state.
+  std::vector<std::pair<std::size_t, summary::ColumnSummary>> points;
+
+  void save(std::ostream& os) const;
+  static bool load(std::istream& is, SweepStateFile& out, std::string& err);
+};
+
+/// Writes `state` to `path` via a temp file + rename, so a kill mid-write
+/// can never leave a truncated checkpoint behind.  Returns false after a
+/// diagnostic on `err`.
+bool save_state_file_atomic(const SweepStateFile& state,
+                            const std::string& path, std::ostream& err);
+
+/// Loads and validates `path`.  Returns false after a diagnostic on `err`
+/// for unreadable, corrupt, or truncated files.
+bool load_state_file(const std::string& path, SweepStateFile& out,
+                     std::ostream& err);
+
+/// Writes the final aggregate CSV from fully-folded per-point state: raw
+/// rows in grid order when replicate == 1, summary-statistics rows
+/// otherwise.  Both the unsharded sweep and `merge` end in this one code
+/// path — which is what makes shard+merge byte-identical to the unsharded
+/// run.  `per_point` is parallel to the expanded grid; `header` is the
+/// shared CSV header ("" means no point produced CSV, an error).
+int emit_sweep_aggregate(const SweepManifest& manifest,
+                         const std::vector<std::vector<std::string>>& grid,
+                         const std::vector<summary::ColumnSummary>& per_point,
+                         const std::string& header, std::ostream& out,
+                         std::ostream& err);
+
+/// CLI entry for `tfmcc_sim merge [--output <path>] <partial>...`: loads
+/// the shard partials, refuses mismatched or incomplete shard sets, and
+/// emits the combined aggregate CSV.  Returns the process exit code.
+int merge_main(int argc, char** argv, std::ostream& err);
+
+}  // namespace tfmcc

@@ -478,5 +478,55 @@ TEST(RunSweep, ReplicateMultipliesIntoTheRunCap) {
   EXPECT_NE(err.find("times --replicate exceeds"), std::string::npos);
 }
 
+TEST(PointLabel, JoinsKeysAndValues) {
+  EXPECT_EQ(point_label({{"n", {}}, {"trials", {}}}, {"8", "50"}),
+            "n=8,trials=50");
+}
+
+TEST(SweepPointCost, MultipliesNumericAxisValuesAboveOne) {
+  EXPECT_DOUBLE_EQ(sweep_point_cost({"2000", "50"}), 100000.0);
+  // Non-numeric and <= 1 values contribute a neutral factor.
+  EXPECT_DOUBLE_EQ(sweep_point_cost({"fast", "0.5", "8"}), 8.0);
+  EXPECT_DOUBLE_EQ(sweep_point_cost({}), 1.0);
+  EXPECT_DOUBLE_EQ(sweep_point_cost({"label", "1"}), 1.0);
+}
+
+TEST(WeightedEta, ExtrapolatesOverRemainingWorkNotRunCount) {
+  // Half the *work* done in 10s: 10s remain, regardless of how many runs
+  // produced that weight.
+  EXPECT_DOUBLE_EQ(weighted_eta_seconds(10.0, 50.0, 100.0), 10.0);
+  // 90% of the work in 9s leaves 1s, where a run-count ETA on an uneven
+  // grid could claim far more.
+  EXPECT_NEAR(weighted_eta_seconds(9.0, 90.0, 100.0), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(weighted_eta_seconds(5.0, 0.0, 100.0), 0.0);
+  // Weight overrun (cost hints are estimates) clamps to zero, never
+  // negative.
+  EXPECT_DOUBLE_EQ(weighted_eta_seconds(5.0, 120.0, 100.0), 0.0);
+}
+
+TEST(RunSweep, ForcedProgressReportsShardLocalCounts) {
+  SweepOptions sweep;
+  sweep.axes = {{"x", {"1", "2", "3", "4", "5"}}};
+  sweep.progress = true;
+  sweep.shard_index = 1;
+  sweep.shard_count = 3;
+  std::ostringstream out, err;
+  ASSERT_EQ(run_sweep(probe(), sweep, out, err), 0) << err.str();
+  // Shard 1/3 of five points owns x=2 and x=5: two runs, counted locally.
+  EXPECT_NE(err.str().find("sweep shard 1/3: 2/2 runs (100%)"),
+            std::string::npos)
+      << err.str();
+}
+
+TEST(RunSweep, UnshardedProgressKeepsThePlainLabel) {
+  SweepOptions sweep;
+  sweep.axes = {{"x", {"1", "2"}}};
+  sweep.progress = true;
+  std::ostringstream out, err;
+  ASSERT_EQ(run_sweep(probe(), sweep, out, err), 0) << err.str();
+  EXPECT_NE(err.str().find("sweep: 2/2 runs (100%)"), std::string::npos)
+      << err.str();
+}
+
 }  // namespace
 }  // namespace tfmcc
