@@ -16,12 +16,18 @@
 #include "sim/trace.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
+#include <csignal>
 #include <unistd.h>
 #endif
 
 namespace tfmcc {
 
 namespace {
+
+/// Set by request_sweep_interrupt (and the SIGTERM/SIGINT handlers
+/// sweep_main installs while checkpointing): workers stop claiming tasks
+/// and run_sweep flushes a final checkpoint.  Cleared at run_sweep entry.
+std::atomic<bool> g_sweep_interrupt{false};
 
 /// Cap on scheduled scenario runs (grid points times replicates).  Purely a
 /// task-count guard against typo-sized grids: replicated sweeps stream each
@@ -283,6 +289,10 @@ double weighted_eta_seconds(double elapsed_s, double weight_done,
   return elapsed_s / weight_done * std::max(0.0, weight_total - weight_done);
 }
 
+void request_sweep_interrupt() {
+  g_sweep_interrupt.store(true, std::memory_order_relaxed);
+}
+
 int run_sweep(const Scenario& scenario, const SweepOptions& sweep,
               std::ostream& out, std::ostream& err) {
   if (sweep.axes.empty()) {
@@ -338,6 +348,11 @@ int run_sweep(const Scenario& scenario, const SweepOptions& sweep,
     err << "error: --checkpoint-every must be at least 1\n";
     return 2;
   }
+  if (sweep.max_point_failures < 0) {
+    err << "error: --max-point-failures must be non-negative\n";
+    return 2;
+  }
+  g_sweep_interrupt.store(false, std::memory_order_relaxed);
   const auto grid = expand_grid(sweep.axes);
 
   // Validate every point before running anything, so a bad axis value is
@@ -384,6 +399,10 @@ int run_sweep(const Scenario& scenario, const SweepOptions& sweep,
   std::vector<char> folded(n_tasks, 0);
   std::string header;
   std::vector<summary::ColumnSummary> per_point;
+  // Monotone across resumes: every checkpoint write bumps it, so a
+  // supervisor polling read_checkpoint_progress sees strictly increasing
+  // heartbeats from a live shard even when no new task folded.
+  std::uint64_t heartbeat = 0;
 
   if (!sweep.resume_path.empty()) {
     SweepStateFile ckpt;
@@ -406,6 +425,7 @@ int run_sweep(const Scenario& scenario, const SweepOptions& sweep,
     }
     folded = std::move(ckpt.folded);
     header = std::move(ckpt.header);
+    heartbeat = ckpt.heartbeat;
     if (!header.empty()) {
       per_point.assign(grid.size(),
                        summary::ColumnSummary{summary::split_csv(header)});
@@ -477,6 +497,13 @@ int run_sweep(const Scenario& scenario, const SweepOptions& sweep,
   bool any_failed = false;
   bool merge_failed = false;
   bool checkpoint_failed = false;
+  // Point-granularity failure tolerance: one failed replicate fails its
+  // whole grid point (the point's statistics would be over a different
+  // replicate set than its neighbours').  Within --max-point-failures the
+  // sweep keeps running and masks the failed points out of the aggregate.
+  const int max_pf = sweep.max_point_failures;
+  std::vector<char> point_failed(grid.size(), 0);
+  int n_failed_points = 0;
 
   // Folds one completed task (caller holds fold_mu; called in task order).
   auto fold_task = [&](std::size_t t) {
@@ -493,7 +520,12 @@ int run_sweep(const Scenario& scenario, const SweepOptions& sweep,
       }
       failure_log << '\n';
       any_failed = true;
-    } else if (!any_failed && !merge_failed) {
+      if (point_failed[task_point(t)] == 0) {
+        point_failed[task_point(t)] = 1;
+        ++n_failed_points;
+      }
+    } else if (!merge_failed && point_failed[task_point(t)] == 0 &&
+               (max_pf == 0 ? !any_failed : n_failed_points <= max_pf)) {
       RunTrace trace;
       std::string decode_err;
       if (!RunTrace::decode(res.trace, trace, decode_err)) {
@@ -537,14 +569,17 @@ int run_sweep(const Scenario& scenario, const SweepOptions& sweep,
 
   // Snapshot the fold state to the checkpoint file (caller holds fold_mu).
   // Checkpoints stop once a failure is recorded: persisting a failed task
-  // as folded would let a resume skip it silently.
-  auto maybe_checkpoint = [&] {
+  // as folded would let a resume skip it silently.  `force` bypasses the
+  // checkpoint-every gate (but never the failure disarm) for the
+  // interrupt-flush path.
+  auto write_checkpoint = [&](bool force) {
     if (sweep.checkpoint_path.empty() || checkpoint_failed || any_failed ||
         merge_failed) {
       return;
     }
     const bool all_done = fold_cursor == owned_tasks.size();
-    if (folds_since_ckpt <
+    if (!force &&
+        folds_since_ckpt <
             static_cast<std::size_t>(sweep.checkpoint_every) &&
         !all_done) {
       return;
@@ -554,6 +589,7 @@ int run_sweep(const Scenario& scenario, const SweepOptions& sweep,
     ck.kind = SweepStateFile::Kind::kCheckpoint;
     ck.manifest = manifest;
     ck.header = header;
+    ck.heartbeat = ++heartbeat;
     ck.folded = folded;
     for (std::size_t p = 0; p < grid.size(); ++p) {
       if (shard_owns_point(manifest, p) && !per_point.empty() &&
@@ -568,6 +604,9 @@ int run_sweep(const Scenario& scenario, const SweepOptions& sweep,
 
   auto worker = [&] {
     for (;;) {
+      // An interrupt lets the in-flight run finish (its result still folds
+      // and checkpoints) but claims nothing further.
+      if (g_sweep_interrupt.load(std::memory_order_relaxed)) return;
       const std::size_t slot = next_slot.fetch_add(1);
       if (slot >= schedule.size()) return;
       const std::size_t t = schedule[slot];
@@ -613,7 +652,7 @@ int run_sweep(const Scenario& scenario, const SweepOptions& sweep,
           folded[next] = 1;
           ++fold_cursor;
           ++folds_since_ckpt;
-          maybe_checkpoint();
+          write_checkpoint(/*force=*/false);
         }
       }
       progress.task_done(point_cost[task_point(t)]);
@@ -631,8 +670,34 @@ int run_sweep(const Scenario& scenario, const SweepOptions& sweep,
   }
   progress.finish();
 
-  if (any_failed) {
+  const bool interrupted = g_sweep_interrupt.load(std::memory_order_relaxed);
+  const bool tolerated =
+      any_failed && !merge_failed && max_pf > 0 && n_failed_points <= max_pf;
+  if (interrupted) {
+    // Best-effort final flush: capture whatever folded past the last
+    // periodic write, so a --resume continues from the interrupt point
+    // instead of the last checkpoint-every boundary.
+    if (!sweep.checkpoint_path.empty()) {
+      std::lock_guard<std::mutex> lock(fold_mu);
+      write_checkpoint(/*force=*/true);
+    }
+    err << failure_log.str() << merge_log.str() << ckpt_log.str();
+    if (!sweep.checkpoint_path.empty() && !checkpoint_failed && !any_failed &&
+        !merge_failed) {
+      err << "sweep: interrupted; checkpoint flushed to '"
+          << sweep.checkpoint_path << "' (continue with --resume)\n";
+    } else {
+      err << "sweep: interrupted\n";
+    }
+    return 1;
+  }
+  if (any_failed && !tolerated) {
     err << failure_log.str();
+    if (max_pf > 0) {
+      err << "error: " << n_failed_points
+          << " grid point(s) failed, exceeding --max-point-failures "
+          << max_pf << '\n';
+    }
     return 1;
   }
   if (merge_failed) {
@@ -648,29 +713,43 @@ int run_sweep(const Scenario& scenario, const SweepOptions& sweep,
   if (!sweep.checkpoint_path.empty() && schedule.empty()) {
     std::lock_guard<std::mutex> lock(fold_mu);
     fold_cursor = owned_tasks.size();
-    maybe_checkpoint();
+    write_checkpoint(/*force=*/false);
     if (checkpoint_failed) {
       err << ckpt_log.str();
       return 2;
+    }
+  }
+  if (tolerated) {
+    // Replay every failure and name every masked point, so the degraded
+    // aggregate can never be mistaken for a complete one.
+    err << failure_log.str();
+    err << "sweep: " << n_failed_points << " of " << grid.size()
+        << " grid point(s) failed (within --max-point-failures " << max_pf
+        << "); missing from the aggregate:\n";
+    for (std::size_t p = 0; p < grid.size(); ++p) {
+      if (point_failed[p] != 0) {
+        err << "  " << point_label(sweep.axes, grid[p]) << '\n';
+      }
     }
   }
 
   if (sweep.shard_count > 1) {
     // Shards do not emit CSV: the partial artifact carries each owned
     // point's accumulator bitwise, for `tfmcc_sim merge` to place into the
-    // full grid.
+    // full grid.  Failed (masked) points are left out entirely — their
+    // accumulators may hold a partial replicate set.
     SweepStateFile part;
     part.kind = SweepStateFile::Kind::kPartial;
     part.manifest = manifest;
     part.header = header;
     for (std::size_t p = 0; p < grid.size(); ++p) {
-      if (shard_owns_point(manifest, p) && !per_point.empty() &&
-          per_point[p].row_count() > 0) {
+      if (shard_owns_point(manifest, p) && point_failed[p] == 0 &&
+          !per_point.empty() && per_point[p].row_count() > 0) {
         part.points.emplace_back(p, std::move(per_point[p]));
       }
     }
     part.save(out);
-    return 0;
+    return tolerated ? 1 : 0;
   }
 
   if (per_point.empty()) {
@@ -678,7 +757,11 @@ int run_sweep(const Scenario& scenario, const SweepOptions& sweep,
     // header, but needs the vector shaped to the grid.
     per_point.assign(grid.size(), summary::ColumnSummary{{}});
   }
-  return emit_sweep_aggregate(manifest, grid, per_point, header, out, err);
+  const int rc =
+      emit_sweep_aggregate(manifest, grid, per_point, header, out, err,
+                           tolerated ? &point_failed : nullptr);
+  if (rc != 0) return rc;
+  return tolerated ? 1 : 0;
 }
 
 int sweep_main(int argc, char** argv, std::ostream& err) {
@@ -687,7 +770,7 @@ int sweep_main(int argc, char** argv, std::ostream& err) {
            "[--sweep key=lo:hi:logN]... [--jobs N] [--replicate N] "
            "[--stats mean,stddev,cov,min,max] [--progress] "
            "[--shard i/n] [--checkpoint <path>] [--checkpoint-every N] "
-           "[--resume <path>] "
+           "[--resume <path>] [--max-point-failures K] "
            "[--duration <s>] [--seed <n>] [--set key=value]... "
            "[--output <path>]\n";
     return 2;
@@ -809,6 +892,17 @@ int sweep_main(int argc, char** argv, std::ostream& err) {
       }
       sweep.resume_path = argv[i + 1];
       ++i;
+    } else if (arg == "--max-point-failures") {
+      char* end = nullptr;
+      const long cap = has_value ? std::strtol(argv[i + 1], &end, 10) : -1;
+      if (!has_value || end == argv[i + 1] || *end != '\0' || cap < 0 ||
+          cap > 1'000'000) {
+        err << "error: --max-point-failures expects an integer between 0 "
+               "and 1e6\n";
+        return 2;
+      }
+      sweep.max_point_failures = static_cast<int>(cap);
+      ++i;
     } else if (arg == "--progress") {
       sweep.progress = true;
     } else {
@@ -832,7 +926,31 @@ int sweep_main(int argc, char** argv, std::ostream& err) {
     if (!open_output_file(*sweep.base.output_path, file, err)) return 2;
     out = &file;
   }
+
+  // While checkpointing, SIGTERM/SIGINT request a graceful stop — workers
+  // drain, a final checkpoint is flushed, and the process exits nonzero
+  // with the state resumable — instead of killing the process between
+  // periodic writes.  Handlers are scoped to the run: restored before
+  // returning so a supervisor embedding sweep_main keeps its own disposition.
+#if defined(__unix__) || defined(__APPLE__)
+  struct sigaction old_term {};
+  struct sigaction old_int {};
+  const bool trap_signals = !sweep.checkpoint_path.empty();
+  if (trap_signals) {
+    struct sigaction sa {};
+    sa.sa_handler = [](int) { request_sweep_interrupt(); };
+    sigemptyset(&sa.sa_mask);
+    sigaction(SIGTERM, &sa, &old_term);
+    sigaction(SIGINT, &sa, &old_int);
+  }
+#endif
   const int rc = run_sweep(*scenario, sweep, *out, err);
+#if defined(__unix__) || defined(__APPLE__)
+  if (trap_signals) {
+    sigaction(SIGTERM, &old_term, nullptr);
+    sigaction(SIGINT, &old_int, nullptr);
+  }
+#endif
   if (file.is_open() &&
       !finish_output_file(*sweep.base.output_path, file, err)) {
     return 2;

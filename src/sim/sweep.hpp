@@ -116,6 +116,12 @@ struct SweepOptions {
   /// `--resume <path>`: restore a checkpoint and re-run only the unfolded
   /// suffix.  The checkpoint's manifest must match this sweep exactly.
   std::string resume_path;
+  /// `--max-point-failures K`: tolerate up to K failing *grid points*
+  /// (a failed replicate fails its whole point) instead of poisoning the
+  /// sweep on the first worker error.  Failed points are dropped from the
+  /// aggregate, replayed in an end-of-run report, and the sweep still
+  /// exits nonzero.  0 (the default) keeps fail-fast behaviour.
+  int max_point_failures{0};
   /// Applied to every point (duration/seed/--set overrides); its output
   /// sink and output_path are ignored — the aggregate goes to `out`.
   ScenarioOptions base;
@@ -125,16 +131,28 @@ struct SweepOptions {
 /// parameters, runs all points on `jobs` worker threads, and writes the
 /// aggregated CSV — the swept keys prepended as columns, rows in grid
 /// order — to `out`.  Returns 0 on success; nonzero after a diagnostic on
-/// `err` when validation fails, a point exits nonzero, or the per-point
-/// traces cannot be merged (no CSV, or mismatched headers).
+/// `err` when validation fails, a point exits nonzero (beyond
+/// `max_point_failures`), the per-point traces cannot be merged (no CSV,
+/// or mismatched headers), or the run was interrupted (see
+/// request_sweep_interrupt).
 int run_sweep(const Scenario& scenario, const SweepOptions& sweep,
               std::ostream& out, std::ostream& err);
 
+/// Asks the running sweep to stop: workers finish their in-flight run,
+/// claim nothing further, and — when checkpointing — the sweep flushes a
+/// final best-effort checkpoint before returning nonzero, so a `--resume`
+/// continues exactly where the interrupt landed.  Async-signal-safe (sets
+/// one atomic flag); `sweep_main` wires it to SIGTERM/SIGINT whenever
+/// `--checkpoint` is active.
+void request_sweep_interrupt();
+
 /// CLI entry for `tfmcc_sim sweep <scenario> ...`: argv holds everything
 /// after the `sweep` token.  Accepts `--sweep key=spec` (repeatable),
-/// `--jobs N`, `--replicate N`, `--stats list`, `--progress`, and every
-/// single-run flag (`--duration`, `--seed`, `--set`, `--output`).  Returns
-/// the process exit code.
+/// `--jobs N`, `--replicate N`, `--stats list`, `--progress`, sharding and
+/// checkpoint flags (`--shard i/n`, `--checkpoint`, `--checkpoint-every`,
+/// `--resume`), `--max-point-failures K`, and every single-run flag
+/// (`--duration`, `--seed`, `--set`, `--output`).  Returns the process
+/// exit code.
 int sweep_main(int argc, char** argv, std::ostream& err);
 
 }  // namespace tfmcc

@@ -8,13 +8,22 @@
 #include <set>
 #include <sstream>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+#endif
+
 namespace tfmcc {
 
 namespace {
 
 constexpr std::string_view kCheckpointMagic = "TFMCC-SWEEP-CKPT";
 constexpr std::string_view kPartialMagic = "TFMCC-SWEEP-PART";
-constexpr int kFormatVersion = 1;
+// Version 2 added the checkpoint progress header (heartbeat + folded/owned
+// counts) the campaign supervisor polls for liveness.
+constexpr int kFormatVersion = 2;
 
 std::string stats_spelling(const std::vector<summary::Stat>& stats) {
   std::string s;
@@ -71,6 +80,23 @@ bool decode_bitmap(const std::string& text, std::size_t n,
 bool expect_token(std::istream& is, std::string_view want) {
   std::string tok;
   return (is >> tok) && tok == want;
+}
+
+/// Tasks the manifest's shard owns: round-robin point ownership times the
+/// replicate count.
+std::uint64_t owned_task_count(const SweepManifest& m) {
+  const std::size_t n = m.n_points();
+  const std::size_t c = static_cast<std::size_t>(m.shard_count);
+  const std::size_t i = static_cast<std::size_t>(m.shard_index);
+  const std::size_t owned_points = n > i ? (n - 1 - i) / c + 1 : 0;
+  return static_cast<std::uint64_t>(owned_points) *
+         static_cast<std::uint64_t>(m.replicate);
+}
+
+std::uint64_t count_set(const std::vector<char>& bits) {
+  std::uint64_t n = 0;
+  for (char b : bits) n += b != 0;
+  return n;
 }
 
 }  // namespace
@@ -281,6 +307,11 @@ bool shard_owns_point(const SweepManifest& m, std::size_t point) {
 void SweepStateFile::save(std::ostream& os) const {
   os << (kind == Kind::kCheckpoint ? kCheckpointMagic : kPartialMagic) << ' '
      << kFormatVersion << '\n';
+  if (kind == Kind::kCheckpoint) {
+    // Line 2, before the manifest: the poll-cheap liveness header.
+    os << "progress " << heartbeat << ' ' << count_set(folded) << ' '
+       << owned_task_count(manifest) << '\n';
+  }
   manifest.save(os);
   os << "header ";
   summary::write_str(os, header);
@@ -315,6 +346,15 @@ bool SweepStateFile::load(std::istream& is, SweepStateFile& out,
     err = "unsupported sweep state version";
     return false;
   }
+  std::uint64_t claimed_folded = 0;
+  std::uint64_t claimed_owned = 0;
+  if (out.kind == Kind::kCheckpoint) {
+    if (!expect_token(is, "progress") || !(is >> out.heartbeat) ||
+        !(is >> claimed_folded) || !(is >> claimed_owned)) {
+      err = "truncated or malformed checkpoint progress header";
+      return false;
+    }
+  }
   if (!SweepManifest::load(is, out.manifest, err)) return false;
   err = "truncated or malformed sweep state";
   if (!expect_token(is, "header") || !summary::read_str(is, out.header)) {
@@ -326,6 +366,13 @@ bool SweepStateFile::load(std::istream& is, SweepStateFile& out,
     std::string bitmap;
     if (!expect_token(is, "folded") || !(is >> n) || n != n_tasks ||
         !(is >> bitmap) || !decode_bitmap(bitmap, n, out.folded)) {
+      return false;
+    }
+    // The progress header is derived state; a disagreement with the bitmap
+    // or manifest marks a hand-edited or corrupt file.
+    if (claimed_folded != count_set(out.folded) ||
+        claimed_owned != owned_task_count(out.manifest)) {
+      err = "checkpoint progress header disagrees with the folded bitmap";
       return false;
     }
     // The fold is strictly in task order over the shard's owned tasks, so
@@ -375,6 +422,27 @@ bool SweepStateFile::load(std::istream& is, SweepStateFile& out,
   return true;
 }
 
+namespace {
+
+#if defined(__unix__) || defined(__APPLE__)
+/// fsyncs one path (a file, or a directory so a just-renamed entry is
+/// durable).  Returns false on open/fsync failure.
+bool fsync_path(const std::string& path, bool directory) {
+  const int flags = directory ? O_RDONLY
+#ifdef O_DIRECTORY
+                                    | O_DIRECTORY
+#endif
+                              : O_WRONLY;
+  const int fd = ::open(path.c_str(), flags);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+}
+#endif
+
+}  // namespace
+
 bool save_state_file_atomic(const SweepStateFile& state,
                             const std::string& path, std::ostream& err) {
   const std::string tmp = path + ".tmp";
@@ -391,10 +459,57 @@ bool save_state_file_atomic(const SweepStateFile& state,
       return false;
     }
   }
+#if defined(__unix__) || defined(__APPLE__)
+  // Durability, not just atomicity: without the fsync a machine crash after
+  // the rename could expose a zero-length or torn file under the final name
+  // (the rename can reach disk before the data does); without the directory
+  // fsync the rename itself may be lost, silently reviving a stale
+  // checkpoint.  SIGKILL alone never needed this — power loss does.
+  if (!fsync_path(tmp, /*directory=*/false)) {
+    err << "error: cannot fsync '" << tmp << "'\n";
+    return false;
+  }
+#endif
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     err << "error: cannot rename '" << tmp << "' to '" << path << "'\n";
     return false;
   }
+#if defined(__unix__) || defined(__APPLE__)
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir =
+      slash == std::string::npos ? std::string{"."} : path.substr(0, slash);
+  if (!fsync_path(dir.empty() ? std::string{"/"} : dir, /*directory=*/true)) {
+    err << "error: cannot fsync directory of '" << path << "'\n";
+    return false;
+  }
+#endif
+  return true;
+}
+
+bool read_checkpoint_progress(const std::string& path, CheckpointProgress& out,
+                              std::string& err) {
+  out = CheckpointProgress{};
+  std::ifstream is{path, std::ios::binary};
+  if (!is) {
+    err = "cannot open '" + path + "'";
+    return false;
+  }
+  std::string magic;
+  int version = 0;
+  if (!(is >> magic) || magic != kCheckpointMagic) {
+    err = "'" + path + "' is not a sweep checkpoint";
+    return false;
+  }
+  if (!(is >> version) || version != kFormatVersion) {
+    err = "'" + path + "' has an unsupported checkpoint version";
+    return false;
+  }
+  if (!expect_token(is, "progress") || !(is >> out.heartbeat) ||
+      !(is >> out.folded_tasks) || !(is >> out.owned_tasks)) {
+    err = "'" + path + "' has a malformed progress header";
+    return false;
+  }
+  err.clear();
   return true;
 }
 
@@ -417,12 +532,16 @@ int emit_sweep_aggregate(const SweepManifest& manifest,
                          const std::vector<std::vector<std::string>>& grid,
                          const std::vector<summary::ColumnSummary>& per_point,
                          const std::string& header, std::ostream& out,
-                         std::ostream& err) {
+                         std::ostream& err,
+                         const std::vector<char>* skip_points) {
   if (header.empty()) {
     err << "error: no CSV trace found in any sweep point's output\n";
     return 1;
   }
   const std::vector<SweepAxis>& axes = manifest.axes;
+  auto skipped = [&](std::size_t i) {
+    return skip_points != nullptr && (*skip_points)[i] != 0;
+  };
 
   if (manifest.replicate == 1) {
     // Raw aggregate: every point's rows verbatim, in grid order, with the
@@ -430,6 +549,7 @@ int emit_sweep_aggregate(const SweepManifest& manifest,
     for (const auto& axis : axes) out << axis.key << ',';
     out << header << '\n';
     for (std::size_t i = 0; i < grid.size(); ++i) {
+      if (skipped(i)) continue;
       for (const auto& row : per_point[i].rows()) {
         for (const auto& value : grid[i]) out << value << ',';
         out << join_cells(row) << '\n';
@@ -440,10 +560,11 @@ int emit_sweep_aggregate(const SweepManifest& manifest,
 
   // Replicated aggregate: one statistics row per point and label group.
   // The reference header comes from the first point that produced rows;
-  // rowless points emit nothing and are exempt from the comparison.
+  // rowless (and skipped) points emit nothing and are exempt from the
+  // comparison.
   const summary::ColumnSummary* reference = nullptr;
   for (std::size_t i = 0; i < grid.size(); ++i) {
-    if (per_point[i].row_count() > 0) {
+    if (!skipped(i) && per_point[i].row_count() > 0) {
       reference = &per_point[i];
       break;
     }
@@ -452,7 +573,7 @@ int emit_sweep_aggregate(const SweepManifest& manifest,
   const std::vector<std::string> expanded =
       reference->header(manifest.stats);
   for (std::size_t i = 0; i < grid.size(); ++i) {
-    if (per_point[i].row_count() > 0 &&
+    if (!skipped(i) && per_point[i].row_count() > 0 &&
         per_point[i].numeric_mask() != reference->numeric_mask()) {
       err << "error: sweep point " << point_label(axes, grid[i])
           << " has a different numeric/label column mix than earlier "
@@ -465,6 +586,7 @@ int emit_sweep_aggregate(const SweepManifest& manifest,
   for (const auto& name : expanded) out << name << ',';
   out << "n_rep\n";
   for (std::size_t i = 0; i < grid.size(); ++i) {
+    if (skipped(i)) continue;
     for (const auto& srow : per_point[i].summarize(manifest.stats)) {
       for (const auto& value : grid[i]) out << value << ',';
       for (const auto& cell : srow) out << cell << ',';

@@ -27,6 +27,10 @@
 // the invoking sweep is refused with a diagnostic rather than silently
 // blended.  Row data inside the files uses the length-prefixed accumulator
 // serialization (analysis/summary), not CSV: nothing is re-parsed on load.
+// Checkpoints additionally open with a two-line progress header (heartbeat
+// save counter, folded/owned task counts) that a campaign supervisor can
+// poll for liveness without loading the accumulators; see
+// read_checkpoint_progress and sim/campaign.hpp.
 
 #include <cstddef>
 #include <cstdint>
@@ -87,6 +91,10 @@ struct SweepStateFile {
   Kind kind{Kind::kCheckpoint};
   SweepManifest manifest;
   std::string header;
+  /// Checkpoints only: monotone save counter.  Incremented by the sweep on
+  /// every checkpoint write (and restored across --resume), it is the
+  /// heartbeat a campaign supervisor polls — see read_checkpoint_progress.
+  std::uint64_t heartbeat{0};
   /// Checkpoints only: folded[t] != 0 when global task t's output has been
   /// folded.  Always a prefix of the shard's task order (ascending global
   /// index over owned tasks); load() enforces that invariant.
@@ -98,9 +106,31 @@ struct SweepStateFile {
   static bool load(std::istream& is, SweepStateFile& out, std::string& err);
 };
 
+/// The cheap-to-poll progress header a checkpoint file opens with: the
+/// heartbeat save counter, the number of folded tasks, and the number of
+/// tasks the writing shard owns in total.  All three are monotone across a
+/// shard's lifetime (including resumes), so a supervisor can detect a
+/// stalled or dead worker by polling these two lines without parsing the
+/// manifest or deserializing a single accumulator.
+struct CheckpointProgress {
+  std::uint64_t heartbeat{0};
+  std::uint64_t folded_tasks{0};
+  std::uint64_t owned_tasks{0};
+};
+
+/// Reads just the magic line and progress header of the checkpoint at
+/// `path`.  Returns false (with a diagnostic in `err`) when the file is
+/// missing, is not a checkpoint, or has a malformed header — callers poll
+/// this in a loop, so the common "no checkpoint yet" case must be cheap.
+bool read_checkpoint_progress(const std::string& path, CheckpointProgress& out,
+                              std::string& err);
+
 /// Writes `state` to `path` via a temp file + rename, so a kill mid-write
-/// can never leave a truncated checkpoint behind.  Returns false after a
-/// diagnostic on `err`.
+/// can never leave a truncated checkpoint behind.  On POSIX the temp file
+/// is fsync'd before the rename and the directory entry fsync'd after it,
+/// so even a machine-level crash (power loss, not just SIGKILL) cannot
+/// surface a torn file — or a valid-looking stale one — under the final
+/// name.  Returns false after a diagnostic on `err`.
 bool save_state_file_atomic(const SweepStateFile& state,
                             const std::string& path, std::ostream& err);
 
@@ -115,11 +145,15 @@ bool load_state_file(const std::string& path, SweepStateFile& out,
 /// path — which is what makes shard+merge byte-identical to the unsharded
 /// run.  `per_point` is parallel to the expanded grid; `header` is the
 /// shared CSV header ("" means no point produced CSV, an error).
+/// `skip_points`, when non-null, is parallel to the grid and suppresses the
+/// marked points entirely — the degraded `--max-point-failures` path emits
+/// the surviving grid this way.
 int emit_sweep_aggregate(const SweepManifest& manifest,
                          const std::vector<std::vector<std::string>>& grid,
                          const std::vector<summary::ColumnSummary>& per_point,
                          const std::string& header, std::ostream& out,
-                         std::ostream& err);
+                         std::ostream& err,
+                         const std::vector<char>* skip_points = nullptr);
 
 /// CLI entry for `tfmcc_sim merge [--output <path>] <partial>...`: loads
 /// the shard partials, refuses mismatched or incomplete shard sets, and

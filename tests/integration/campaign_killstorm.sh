@@ -1,0 +1,59 @@
+#!/bin/sh
+# Kill-storm stress for `tfmcc_sim campaign`: every shard's first three
+# launches are SIGKILLed at staggered offsets (so the kills land at
+# different fold frontiers — before the first checkpoint, mid-grid, and
+# near the end), and the campaign must still recover automatically and
+# produce a merged CSV byte-identical to the uninterrupted unsharded
+# `--jobs 1` sweep.
+#
+# usage: campaign_killstorm.sh <tfmcc_sim> [workdir]
+set -eu
+
+# Absolute path: the wrapper and this script both cd away from the caller.
+SIM=$(readlink -f -- "${1:?usage: campaign_killstorm.sh <tfmcc_sim> [workdir]}")
+WORK=${2:-$(mktemp -d)}
+mkdir -p "$WORK"
+cd "$WORK"
+rm -rf storm mark_* ref.csv merged.csv campaign.log
+mkdir storm
+
+GRID="--sweep n_receivers=2:50:log4 --set trials=2 --set n_max=1000"
+
+# The reference no campaign machinery ever touches.
+"$SIM" sweep fig07_scaling $GRID --jobs 1 --output ref.csv
+
+# Shard wrapper: launch n of a shard (counted by marker files, so the
+# count survives the wrapper being re-exec'd) runs the real shard under a
+# timer that SIGKILLs it after 0.1/0.3/0.5 seconds; launch 4+ runs clean.
+cat > killwrap.sh <<EOF
+#!/bin/sh
+shard=""; prev=""
+for a in "\$@"; do
+  if [ "\$prev" = "--shard" ]; then shard=\$a; fi
+  prev=\$a
+done
+tag=\$(printf '%s' "\$shard" | tr / _)
+n=0
+while [ -f "mark_\${tag}_\$n" ]; do n=\$((n + 1)); done
+if [ "\$n" -lt 3 ]; then
+  touch "mark_\${tag}_\$n"
+  "$SIM" "\$@" & pid=\$!
+  sleep "0.\$((1 + 2 * n))"
+  kill -9 \$pid 2>/dev/null || true
+  wait \$pid 2>/dev/null
+  exit 137
+fi
+exec "$SIM" "\$@"
+EOF
+chmod +x killwrap.sh
+
+"$SIM" campaign fig07_scaling $GRID \
+  --shards 3 --dir storm --exec "$PWD/killwrap.sh" \
+  --stall-timeout 60 --poll-interval 0.05 \
+  --backoff-base 0.02 --backoff-max 0.1 --max-retries 10 \
+  --output merged.csv 2> campaign.log || { cat campaign.log; exit 1; }
+
+grep -q 'relaunching in' campaign.log
+grep -q 'all 3 shards complete; merging' campaign.log
+cmp ref.csv merged.csv
+echo "campaign kill-storm: merged CSV byte-identical to the unsharded sweep"

@@ -9,6 +9,8 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cstdio>
+#include <fstream>
 #include <set>
 #include <sstream>
 #include <stdexcept>
@@ -31,12 +33,24 @@ TFMCC_SCENARIO(test_sweep_probe, "synthetic sweep probe",
                tfmcc::param("delay_ms", 0, "stall before emitting", 0),
                tfmcc::param("fail", false, "exit nonzero"),
                tfmcc::param("throw_msg", "", "throw with this message"),
-               tfmcc::param("alt_header", false, "emit a different header")) {
+               tfmcc::param("alt_header", false, "emit a different header"),
+               tfmcc::param("interrupt_once_file", "",
+                            "request a sweep interrupt once, creating this "
+                            "marker file")) {
   const int x = opts.param_or("x", 1);
   const double y = opts.param_or("y", 1.0);
   const int delay_ms = opts.param_or("delay_ms", 0);
   if (delay_ms > 0) {
     std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+  }
+  const std::string interrupt_marker = opts.param_or("interrupt_once_file", "");
+  if (!interrupt_marker.empty()) {
+    // One-shot: interrupt the first sweep that runs this task, so the
+    // resumed sweep (same manifest, marker now present) completes.
+    if (!std::ifstream{interrupt_marker}.good()) {
+      std::ofstream{interrupt_marker} << "interrupted\n";
+      request_sweep_interrupt();
+    }
   }
   auto& os = opts.out();
   os << "# synthetic probe\n";
@@ -526,6 +540,122 @@ TEST(RunSweep, UnshardedProgressKeepsThePlainLabel) {
   ASSERT_EQ(run_sweep(probe(), sweep, out, err), 0) << err.str();
   EXPECT_NE(err.str().find("sweep: 2/2 runs (100%)"), std::string::npos)
       << err.str();
+}
+
+// --- graceful degradation (--max-point-failures) --------------------------
+
+TEST(RunSweep, MaxPointFailuresMasksFailedPointsAndStillExitsNonzero) {
+  SweepOptions sweep;
+  sweep.axes = {{"x", {"1", "2"}}, {"fail", {"false", "true"}}};
+  sweep.max_point_failures = 2;
+  std::string err;
+  const std::string out = run_probe_sweep(sweep, 1, &err);
+  // The two failing points are dropped; the survivors keep grid order.
+  EXPECT_EQ(out,
+            "x,fail,x,y,product\n"
+            "1,false,1,1,1\n"
+            "2,false,2,1,2\n");
+  EXPECT_NE(err.find("sweep point x=1,fail=true failed"), std::string::npos)
+      << err;
+  EXPECT_NE(err.find("missing from the aggregate:"), std::string::npos)
+      << err;
+  EXPECT_NE(err.find("  x=1,fail=true\n"), std::string::npos) << err;
+  EXPECT_NE(err.find("  x=2,fail=true\n"), std::string::npos) << err;
+}
+
+TEST(RunSweep, MaxPointFailuresExceededPoisonsTheRun) {
+  SweepOptions sweep;
+  sweep.axes = {{"x", {"1", "2"}}, {"fail", {"false", "true"}}};
+  sweep.max_point_failures = 1;
+  std::string err;
+  const std::string out = run_probe_sweep(sweep, 1, &err);
+  EXPECT_TRUE(out.empty());
+  EXPECT_NE(
+      err.find("2 grid point(s) failed, exceeding --max-point-failures 1"),
+      std::string::npos)
+      << err;
+}
+
+TEST(RunSweep, MaxPointFailuresDropsTheWholeReplicatedPoint) {
+  SweepOptions sweep;
+  sweep.axes = {{"fail", {"false", "true"}}};
+  sweep.replicate = 2;
+  sweep.max_point_failures = 1;
+  std::string err;
+  const std::string out = run_probe_sweep(sweep, 1, &err);
+  // Only the surviving point summarizes; the failed point contributes no
+  // partial replicate set.
+  std::istringstream is{out};
+  std::string header, row, extra;
+  ASSERT_TRUE(std::getline(is, header)) << out;
+  ASSERT_TRUE(std::getline(is, row)) << out;
+  EXPECT_FALSE(std::getline(is, extra)) << out;
+  EXPECT_EQ(row.rfind("false,", 0), 0u) << row;
+  EXPECT_NE(err.find("  fail=true\n"), std::string::npos) << err;
+}
+
+TEST(RunSweep, NegativeMaxPointFailuresIsRefused) {
+  SweepOptions sweep;
+  sweep.axes = {{"x", {"1"}}};
+  sweep.max_point_failures = -1;
+  std::string err;
+  run_probe_sweep(sweep, 2, &err);
+  EXPECT_NE(err.find("--max-point-failures must be non-negative"),
+            std::string::npos)
+      << err;
+}
+
+// --- graceful shutdown (request_sweep_interrupt) --------------------------
+
+std::string sweep_temp(const std::string& name) {
+  return ::testing::TempDir() + "tfmcc_sweep_" + name;
+}
+
+TEST(RunSweep, InterruptFlushesAFinalCheckpointAndResumeCompletes) {
+  const std::string marker = sweep_temp("intr_marker");
+  const std::string ckpt = sweep_temp("intr.ckpt");
+  std::remove(marker.c_str());
+  std::remove(ckpt.c_str());
+
+  SweepOptions plain;
+  plain.axes = {{"x", {"1", "2", "3", "4"}}};
+  const std::string full = run_probe_sweep(plain);
+
+  // checkpoint_every is far past the task count, so the only write that
+  // can produce the checkpoint is the forced interrupt flush.
+  SweepOptions sweep = plain;
+  sweep.base.set_param("interrupt_once_file", marker);
+  sweep.checkpoint_path = ckpt;
+  sweep.checkpoint_every = 100;
+  std::string err;
+  const std::string out = run_probe_sweep(sweep, 1, &err);
+  EXPECT_TRUE(out.empty());
+  EXPECT_NE(err.find("interrupted; checkpoint flushed to '" + ckpt + "'"),
+            std::string::npos)
+      << err;
+
+  SweepOptions resumed = sweep;
+  resumed.resume_path = ckpt;
+  const std::string res = run_probe_sweep(resumed, 0, &err);
+  // The marker now exists, so the resumed run completes; the extra base
+  // --set does not change the rows, so output matches the plain sweep.
+  EXPECT_EQ(res, full);
+  std::remove(marker.c_str());
+  std::remove(ckpt.c_str());
+}
+
+TEST(RunSweep, InterruptWithoutACheckpointStillStopsNonzero) {
+  const std::string marker = sweep_temp("intr_nockpt_marker");
+  std::remove(marker.c_str());
+  SweepOptions sweep;
+  sweep.axes = {{"x", {"1", "2", "3", "4"}}};
+  sweep.base.set_param("interrupt_once_file", marker);
+  std::string err;
+  const std::string out = run_probe_sweep(sweep, 1, &err);
+  EXPECT_TRUE(out.empty());
+  EXPECT_NE(err.find("sweep: interrupted"), std::string::npos) << err;
+  EXPECT_EQ(err.find("flushed"), std::string::npos) << err;
+  std::remove(marker.c_str());
 }
 
 }  // namespace

@@ -242,6 +242,88 @@ TEST(SweepStateFile, LoadMissingFileIsDiagnosed) {
   EXPECT_NE(err.str().find("cannot open"), std::string::npos) << err.str();
 }
 
+// --- checkpoint progress header (campaign liveness poll) ------------------
+
+TEST(CheckpointProgress, HeartbeatRoundTripsThroughSaveAndLoad) {
+  SweepStateFile ck = checkpoint_after(2);
+  ck.heartbeat = 41;
+  std::ostringstream os;
+  ck.save(os);
+  std::istringstream is{os.str()};
+  SweepStateFile back;
+  std::string err;
+  ASSERT_TRUE(SweepStateFile::load(is, back, err)) << err;
+  EXPECT_EQ(back.heartbeat, 41u);
+  // The header is the literal second line, cheap to read without touching
+  // the accumulators: heartbeat, folded count, owned task count.
+  std::istringstream lines{os.str()};
+  std::string magic_line, progress_line;
+  ASSERT_TRUE(std::getline(lines, magic_line));
+  ASSERT_TRUE(std::getline(lines, progress_line));
+  EXPECT_EQ(progress_line, "progress 41 2 3");
+}
+
+TEST(CheckpointProgress, ReadProgressPollsWithoutLoadingState) {
+  SweepStateFile ck = checkpoint_after(2);
+  ck.heartbeat = 7;
+  const std::string path = temp_path("progress.bin");
+  std::ostringstream werr;
+  ASSERT_TRUE(save_state_file_atomic(ck, path, werr)) << werr.str();
+  CheckpointProgress p;
+  std::string err;
+  ASSERT_TRUE(read_checkpoint_progress(path, p, err)) << err;
+  EXPECT_EQ(p.heartbeat, 7u);
+  EXPECT_EQ(p.folded_tasks, 2u);
+  EXPECT_EQ(p.owned_tasks, 3u);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointProgress, ReadProgressRefusesMissingGarbageAndPartials) {
+  CheckpointProgress p;
+  std::string err;
+  EXPECT_FALSE(read_checkpoint_progress(temp_path("no_ckpt.bin"), p, err));
+
+  const std::string garbage = temp_path("garbage_ckpt.bin");
+  write_file(garbage, "not a checkpoint at all\n");
+  EXPECT_FALSE(read_checkpoint_progress(garbage, p, err));
+  EXPECT_NE(err.find("not a sweep checkpoint"), std::string::npos) << err;
+
+  const std::string truncated = temp_path("truncated_ckpt.bin");
+  write_file(truncated, "TFMCC-SWEEP-CKPT 2\nprogress 9");
+  EXPECT_FALSE(read_checkpoint_progress(truncated, p, err));
+
+  // A shard partial has no progress header; polling one must fail loudly
+  // rather than invent liveness.
+  SweepStateFile part = checkpoint_after(0);
+  part.kind = SweepStateFile::Kind::kPartial;
+  part.folded.clear();
+  const std::string ppath = temp_path("part_as_progress.bin");
+  std::ostringstream werr;
+  ASSERT_TRUE(save_state_file_atomic(part, ppath, werr));
+  EXPECT_FALSE(read_checkpoint_progress(ppath, p, err));
+
+  std::remove(garbage.c_str());
+  std::remove(truncated.c_str());
+  std::remove(ppath.c_str());
+}
+
+TEST(CheckpointProgress, LoadRejectsAHeaderDisagreeingWithTheBitmap) {
+  SweepStateFile ck = checkpoint_after(2);
+  std::ostringstream os;
+  ck.save(os);
+  // Tamper: claim 3 folded tasks while the bitmap carries 2.
+  std::string text = os.str();
+  const std::string good = "progress 0 2 3";
+  const auto at = text.find(good);
+  ASSERT_NE(at, std::string::npos) << text;
+  text.replace(at, good.size(), "progress 0 3 3");
+  std::istringstream is{text};
+  SweepStateFile back;
+  std::string err;
+  EXPECT_FALSE(SweepStateFile::load(is, back, err));
+  EXPECT_NE(err.find("disagrees"), std::string::npos) << err;
+}
+
 // --- checkpoint/resume through run_sweep ---------------------------------
 
 TEST(Resume, CheckpointCoveringOnlyTaskZeroYieldsIdenticalOutput) {
@@ -306,12 +388,26 @@ TEST(Resume, RefusesAGridMismatch) {
 
 TEST(Resume, RefusesACorruptCheckpoint) {
   const std::string path = temp_path("corrupt.bin");
-  write_file(path, "TFMCC-SWEEP-CKPT 1\nmanifest 1\nscenario 3:zzz");
+  write_file(path,
+             "TFMCC-SWEEP-CKPT 2\nprogress 1 1 3\nmanifest 2\n"
+             "scenario 3:zzz");
   SweepOptions resumed = three_point_sweep();
   resumed.resume_path = path;
   std::string err;
   sweep_output(resumed, 2, &err);
   EXPECT_NE(err.find("cannot load"), std::string::npos) << err;
+  std::remove(path.c_str());
+}
+
+TEST(Resume, RefusesAnOlderFormatVersion) {
+  const std::string path = temp_path("oldver.bin");
+  write_file(path, "TFMCC-SWEEP-CKPT 1\nmanifest 1\nscenario 3:zzz");
+  SweepOptions resumed = three_point_sweep();
+  resumed.resume_path = path;
+  std::string err;
+  sweep_output(resumed, 2, &err);
+  EXPECT_NE(err.find("unsupported sweep state version"), std::string::npos)
+      << err;
   std::remove(path.c_str());
 }
 
